@@ -1,0 +1,114 @@
+"""Figure 11 — operation and usage costs of SCFS.
+
+Regenerates the three cost views of §4.5:
+
+* 11(a): the fixed cost of running the coordination service (VM rental per
+  day for one EC2 instance, four EC2 instances, or one instance in each CoC
+  provider) and its expected metadata capacity — these numbers are taken from
+  the same price list as the paper and must match it exactly;
+* 11(b): the measured cost per read/write operation as a function of file
+  size — reads are dominated by outbound traffic and grow linearly, writes
+  cost only requests/coordination accesses and stay flat, CoC ≥ AWS;
+* 11(c): the measured storage cost per file version per day — the
+  cloud-of-clouds pays roughly 50 % more than the single cloud thanks to the
+  erasure code with preferred quorums.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.costs import (
+    cached_read_cost,
+    cost_per_file_day,
+    cost_per_operation,
+    operation_costs_per_day,
+)
+from repro.bench.report import human_size, render_table
+from repro.common.units import MB
+
+SIZES = (1 * MB, 5 * MB, 10 * MB, 20 * MB, 30 * MB)
+
+
+def test_fig11a_operation_costs_per_day(run_once, capsys):
+    rows = run_once(operation_costs_per_day)
+    table_rows = [[r.instance, r.ec2_per_day, r.ec2_times_four_per_day, r.coc_per_day,
+                   f"{r.capacity_files / 1e6:.0f}M files"] for r in rows]
+    with capsys.disabled():
+        print()
+        print(render_table("Figure 11(a) - coordination service cost per day ($) and capacity",
+                           ["instance", "EC2", "EC2 x4", "CoC", "capacity"], table_rows))
+
+    by_instance = {r.instance: r for r in rows}
+    assert by_instance["large"].ec2_per_day == pytest.approx(6.24)
+    assert by_instance["large"].ec2_times_four_per_day == pytest.approx(24.96)
+    assert by_instance["large"].coc_per_day == pytest.approx(39.60)
+    assert by_instance["large"].capacity_files == 7_000_000
+    assert by_instance["extra_large"].ec2_per_day == pytest.approx(12.96)
+    assert by_instance["extra_large"].ec2_times_four_per_day == pytest.approx(51.84)
+    assert by_instance["extra_large"].coc_per_day == pytest.approx(77.04)
+    assert by_instance["extra_large"].capacity_files == 15_000_000
+    # The price of tolerating provider failures (the $451/month of §4.5) is the
+    # difference between the CoC and the 4xEC2 deployments.
+    assert (by_instance["large"].coc_per_day - by_instance["large"].ec2_times_four_per_day) * 30 == pytest.approx(439.2, rel=0.05)
+
+
+def test_fig11b_cost_per_operation(run_once, benchmark, capsys):
+    results = run_once(cost_per_operation, SIZES)
+
+    rows = []
+    for series, per_size in results.items():
+        for size in SIZES:
+            rows.append([series, human_size(size), per_size[size].total])
+    with capsys.disabled():
+        print()
+        print(render_table("Figure 11(b) - cost per operation (micro-dollars)",
+                           ["series", "file size", "cost/op (u$)"], rows))
+        print(f"cached read (metadata validation only): {cached_read_cost():.2f} u$")
+    benchmark.extra_info["series"] = {
+        series: {human_size(size): round(cost.total, 1) for size, cost in per_size.items()}
+        for series, per_size in results.items()
+    }
+
+    # Reads grow with the file size (outbound traffic is charged)...
+    assert results["AWS read"][30 * MB].total > 10 * results["AWS read"][1 * MB].total
+    assert results["CoC read"][30 * MB].total > 10 * results["CoC read"][1 * MB].total
+    # ...while writes stay flat (inbound traffic is free).
+    assert results["AWS write"][30 * MB].total < 2 * results["AWS write"][1 * MB].total
+    assert results["CoC write"][30 * MB].total < 2 * results["CoC write"][1 * MB].total
+    # Writing is much cheaper than reading for any non-trivial file size.
+    assert results["AWS write"][10 * MB].total < results["AWS read"][10 * MB].total
+    # The CoC backend costs at least as much as the single cloud for both.
+    for size in SIZES:
+        assert results["CoC read"][size].total >= 0.9 * results["AWS read"][size].total
+        assert results["CoC write"][size].total >= results["AWS write"][size].total
+    # Reading a locally cached file only pays the metadata validation (~11 u$).
+    assert cached_read_cost() == pytest.approx(11.32, rel=0.05)
+
+
+def test_fig11c_cost_per_file_per_day(run_once, benchmark, capsys):
+    results = run_once(cost_per_file_day, SIZES)
+
+    rows = []
+    for system in ("AWS", "CoC"):
+        for size in SIZES:
+            entry = results[system][size]
+            rows.append([system, human_size(size), entry.micro_dollars_per_day,
+                         entry.stored_bytes])
+    with capsys.disabled():
+        print()
+        print(render_table("Figure 11(c) - storage cost per version per day (micro-dollars)",
+                           ["backend", "file size", "cost/day (u$)", "stored bytes"], rows))
+    benchmark.extra_info["series"] = {
+        system: {human_size(size): round(entry.micro_dollars_per_day, 2)
+                 for size, entry in per_size.items()}
+        for system, per_size in results.items()
+    }
+
+    for size in SIZES:
+        ratio = results["CoC"][size].micro_dollars_per_day / results["AWS"][size].micro_dollars_per_day
+        # The erasure code with preferred quorums costs ~50% extra storage (§4.5).
+        assert 1.3 < ratio < 1.8
+    # Cost grows linearly with the file size.
+    assert results["AWS"][30 * MB].micro_dollars_per_day == pytest.approx(
+        30 * results["AWS"][1 * MB].micro_dollars_per_day, rel=0.1)

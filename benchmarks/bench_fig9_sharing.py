@@ -1,0 +1,73 @@
+"""Figure 9 — file-sharing latency between two clients.
+
+Regenerates the 50th/90th-percentile latency between the instant client A
+closes a file written to a shared folder and the instant client B has that
+exact version, for 256 KB–16 MB files, on SCFS-CoC-B/NB, SCFS-AWS-B/NB and a
+Dropbox-like synchronisation service.
+
+Shape assertions, mirroring §4.3:
+
+* the blocking variants exhibit the *smallest* sharing latency — when close
+  returns, the data is already in the clouds, so B only pays detection and
+  download;
+* the non-blocking variants add the (background) upload time;
+* the Dropbox-like service is far slower than any SCFS variant;
+* latency grows with the file size for the upload-bound systems.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import human_size, render_table
+from repro.bench.sharing import run_dropbox_sharing, run_sharing_benchmark
+from repro.common.units import KB, MB
+
+SIZES = (256 * KB, 1 * MB, 4 * MB, 16 * MB)
+SYSTEMS = ("SCFS-CoC-B", "SCFS-CoC-NB", "SCFS-AWS-B", "SCFS-AWS-NB", "Dropbox")
+TRIALS = 7
+
+
+def _run_matrix():
+    results = {}
+    for system in SYSTEMS:
+        for size in SIZES:
+            if system == "Dropbox":
+                results[(system, size)] = run_dropbox_sharing(size, trials=TRIALS, seed=5)
+            else:
+                results[(system, size)] = run_sharing_benchmark(system, size, trials=TRIALS, seed=5)
+    return results
+
+
+def test_fig9_sharing_latency(run_once, benchmark, capsys):
+    results = run_once(_run_matrix)
+
+    rows = []
+    for system in SYSTEMS:
+        for size in SIZES:
+            result = results[(system, size)]
+            rows.append([system, human_size(size), result.p50, result.p90])
+    with capsys.disabled():
+        print()
+        print(render_table("Figure 9 - sharing latency, 50th/90th percentile (simulated seconds)",
+                           ["system", "size", "p50", "p90"], rows, float_format="{:.2f}"))
+    benchmark.extra_info["results"] = {
+        f"{system}/{human_size(size)}": round(result.p50, 2)
+        for (system, size), result in results.items()
+    }
+
+    def p50(system, size):
+        return results[(system, size)].p50
+
+    for size in SIZES:
+        # Blocking beats non-blocking (the upload already happened inside close).
+        assert p50("SCFS-CoC-B", size) < p50("SCFS-CoC-NB", size)
+        assert p50("SCFS-AWS-B", size) < p50("SCFS-AWS-NB", size)
+        # Every SCFS variant beats the Dropbox-like synchronisation pipeline.
+        for system in ("SCFS-CoC-B", "SCFS-CoC-NB", "SCFS-AWS-B", "SCFS-AWS-NB"):
+            assert p50(system, size) < p50("Dropbox", size)
+        # Percentiles are ordered.
+        for system in SYSTEMS:
+            assert results[(system, size)].p90 >= results[(system, size)].p50
+
+    # Upload-bound systems get slower as files grow.
+    assert p50("SCFS-CoC-NB", 16 * MB) > p50("SCFS-CoC-NB", 256 * KB)
+    assert p50("Dropbox", 16 * MB) > p50("Dropbox", 256 * KB)

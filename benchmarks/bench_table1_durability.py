@@ -1,0 +1,56 @@
+"""Table 1 — durability levels reached by each system call.
+
+Regenerates the four-row durability table (location, latency scale, fault
+tolerance, example call) and verifies, on a live SCFS-CoC deployment, that the
+measured latencies of write/fsync/close fall in the micro-/milli-/second
+ranges the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import render_table
+from repro.core.deployment import SCFSDeployment
+from repro.core.filesystem import DURABILITY_TABLE
+
+
+def _measure_call_latencies() -> dict[str, float]:
+    deployment = SCFSDeployment.for_variant("SCFS-CoC-B", seed=101)
+    fs = deployment.create_agent("alice")
+    handle = fs.open("/durability.bin", "w")
+
+    start = deployment.sim.now()
+    fs.write(handle, b"x" * 4096)
+    write_latency = deployment.sim.now() - start
+
+    start = deployment.sim.now()
+    fs.fsync(handle)
+    fsync_latency = deployment.sim.now() - start
+
+    fs.write(handle, b"y" * 65536)
+    start = deployment.sim.now()
+    fs.close(handle)
+    close_latency = deployment.sim.now() - start
+    return {"write": write_latency, "fsync": fsync_latency, "close": close_latency}
+
+
+def test_table1_durability_levels(run_once, capsys):
+    latencies = run_once(_measure_call_latencies)
+
+    rows = []
+    for row in DURABILITY_TABLE:
+        measured = latencies.get(row.example_call, float("nan"))
+        rows.append([int(row.level), row.location, row.latency, row.fault_tolerance,
+                     row.example_call, f"{measured:.6f}"])
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Table 1 - SCFS durability levels (measured seconds on SCFS-CoC-B)",
+            ["level", "location", "latency", "fault tol.", "sys call", "measured (s)"],
+            rows,
+        ))
+
+    # The orders of magnitude of the paper must hold: microseconds for write,
+    # milliseconds for fsync, seconds for close (cloud-of-clouds upload).
+    assert latencies["write"] < 1e-3
+    assert 1e-4 < latencies["fsync"] < 0.5
+    assert latencies["close"] > 0.5

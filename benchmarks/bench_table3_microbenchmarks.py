@@ -1,0 +1,74 @@
+"""Table 3 — Filebench micro-benchmarks for the nine file systems.
+
+Regenerates the full latency table: six micro-benchmarks (sequential and
+random reads/writes, create files, copy files) across the six SCFS variants,
+S3FS, S3QL and LocalFS.
+
+The absolute numbers come from the simulation's latency models, so they do not
+match the paper's testbed second-for-second; the assertions below check the
+*shape* that Table 3 establishes:
+
+* the IO-intensive benchmarks are nearly identical for all SCFS variants and
+  LocalFS (they only touch the main-memory cache), with S3FS (no memory cache)
+  and S3QL (slow small writes) as the outliers;
+* the metadata-intensive benchmarks separate local/non-sharing systems from
+  the shared variants by orders of magnitude, with blocking variants slower
+  than non-blocking ones and S3FS slowest of all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.filebench import MICRO_BENCHMARKS, MicroBenchmarkParams, run_microbenchmark_table
+from repro.bench.report import render_table
+from repro.bench.targets import ALL_TARGET_NAMES
+
+#: Number of random 4 KB operations actually executed (result scaled to 256 k).
+SAMPLE_OPS = 1024
+
+PARAMS = MicroBenchmarkParams(sample_ops=SAMPLE_OPS)
+
+
+def test_table3_microbenchmarks(run_once, benchmark, capsys):
+    table = run_once(run_microbenchmark_table, ALL_TARGET_NAMES, tuple(MICRO_BENCHMARKS),
+                     0, PARAMS)
+
+    headers = ["micro-benchmark"] + list(ALL_TARGET_NAMES)
+    rows = [[name] + [table[name][target] for target in ALL_TARGET_NAMES]
+            for name in MICRO_BENCHMARKS]
+    with capsys.disabled():
+        print()
+        print(render_table("Table 3 - Filebench micro-benchmarks (simulated seconds)",
+                           headers, rows, float_format="{:.2f}"))
+    benchmark.extra_info["table"] = {
+        bench: {target: round(value, 3) for target, value in row.items()}
+        for bench, row in table.items()
+    }
+
+    create = table["create files"]
+    copy = table["copy files"]
+    random_write = table["random 4KB-write"]
+    random_read = table["random 4KB-read"]
+
+    # Metadata-intensive: NS/local vs shared variants differ by orders of magnitude.
+    for coordinated in ("SCFS-AWS-NB", "SCFS-AWS-B", "SCFS-CoC-NB", "SCFS-CoC-B", "S3FS"):
+        assert create[coordinated] > 20 * create["SCFS-CoC-NS"]
+        assert create[coordinated] > 20 * create["LocalFS"]
+        assert copy[coordinated] > 20 * copy["SCFS-CoC-NS"]
+
+    # Blocking variants pay the cloud upload on every close: slower than non-blocking.
+    assert create["SCFS-CoC-B"] > create["SCFS-CoC-NB"]
+    assert create["SCFS-AWS-B"] > create["SCFS-AWS-NB"]
+
+    # S3FS accesses the cloud on every create/open/close and is the slowest.
+    assert create["S3FS"] > create["SCFS-AWS-NB"]
+
+    # IO-intensive: every SCFS variant behaves like LocalFS (memory-cache reads/writes)...
+    for variant in ("SCFS-AWS-NS", "SCFS-AWS-NB", "SCFS-AWS-B",
+                    "SCFS-CoC-NS", "SCFS-CoC-NB", "SCFS-CoC-B"):
+        assert random_read[variant] == pytest.approx(random_read["LocalFS"], rel=0.5)
+    # ...S3QL's random 4 KB writes hit the documented slow path...
+    assert random_write["S3QL"] > 3 * random_write["SCFS-CoC-NB"]
+    # ...and S3FS pays for the missing main-memory cache.
+    assert random_read["S3FS"] > random_read["SCFS-CoC-NB"]

@@ -1,0 +1,48 @@
+"""Simulated cloud object-storage providers.
+
+SCFS only assumes that a storage cloud offers on-demand object storage with
+basic access-control lists and (at least) eventual consistency (§2.1,
+*service-agnosticism*).  This package provides exactly that abstraction:
+
+* :class:`~repro.clouds.object_store.ObjectStore` — the provider-agnostic
+  interface (put/get/delete/list + per-object ACLs);
+* :class:`~repro.clouds.eventual.EventuallyConsistentStore` — an in-memory
+  implementation with a configurable visibility (propagation) delay, latency
+  charging against the simulated clock, fault injection and cost accounting;
+* :mod:`~repro.clouds.providers` — named profiles (Amazon S3, Google Cloud
+  Storage, Windows Azure, Rackspace) with the latency and pricing figures
+  used in the paper's evaluation, plus the VM rental prices needed to
+  reproduce Figure 11(a);
+* :class:`~repro.clouds.accounting.CostTracker` — accumulates request,
+  traffic and storage charges so the benchmarks can regenerate Figure 11.
+"""
+
+from repro.clouds.object_store import ObjectStore, ObjectVersion, ObjectListing
+from repro.clouds.eventual import EventuallyConsistentStore
+from repro.clouds.access_control import ObjectACL
+from repro.clouds.pricing import StoragePricing, ComputePricing
+from repro.clouds.accounting import CostTracker, UsageBreakdown
+from repro.clouds.providers import (
+    PROVIDER_PROFILES,
+    COMPUTE_PRICING,
+    ProviderProfile,
+    make_provider,
+    make_cloud_of_clouds,
+)
+
+__all__ = [
+    "ObjectStore",
+    "ObjectVersion",
+    "ObjectListing",
+    "EventuallyConsistentStore",
+    "ObjectACL",
+    "StoragePricing",
+    "ComputePricing",
+    "CostTracker",
+    "UsageBreakdown",
+    "PROVIDER_PROFILES",
+    "COMPUTE_PRICING",
+    "ProviderProfile",
+    "make_provider",
+    "make_cloud_of_clouds",
+]

@@ -1,0 +1,76 @@
+"""Pricing models for storage and compute cloud services.
+
+The figures are those quoted in the paper (2013/2014 prices):
+
+* outbound traffic costs about $0.12/GB while inbound traffic is free
+  (§1, footnote 2 and §4.5) — the root of the *always write / avoid reading*
+  design principle;
+* storing one GB for a month costs about $0.09;
+* PUT/GET/LIST requests cost micro-dollars each;
+* an EC2 ``Large`` VM costs $6.24/day and an ``Extra Large`` $12.96/day, while
+  the four-provider cloud-of-clouds equivalents cost $39.60 and $77.04/day
+  because Rackspace and Elastichosts charge almost twice as much as EC2 and
+  Azure for similar instances (Figure 11(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import GB, MONTH_SECONDS
+
+
+@dataclass(frozen=True)
+class StoragePricing:
+    """Prices charged by one storage provider.
+
+    All prices are in dollars.  ``storage_gb_month`` is converted to
+    byte-seconds internally by the cost tracker.
+    """
+
+    outbound_gb: float = 0.12
+    inbound_gb: float = 0.0
+    storage_gb_month: float = 0.09
+    put_request: float = 0.00001          # $10 per million PUT requests
+    get_request: float = 0.000004         # $4 per million GET requests
+    delete_request: float = 0.0           # deletes are free on all used clouds (§4.5)
+    list_request: float = 0.000005
+
+    def outbound_cost(self, payload_bytes: int) -> float:
+        """Cost of sending ``payload_bytes`` from the cloud to the client."""
+        return self.outbound_gb * payload_bytes / GB
+
+    def inbound_cost(self, payload_bytes: int) -> float:
+        """Cost of sending ``payload_bytes`` from the client to the cloud."""
+        return self.inbound_gb * payload_bytes / GB
+
+    def storage_cost(self, payload_bytes: int, seconds: float) -> float:
+        """Cost of keeping ``payload_bytes`` stored for ``seconds`` of simulated time."""
+        return self.storage_gb_month * (payload_bytes / GB) * (seconds / MONTH_SECONDS)
+
+
+@dataclass(frozen=True)
+class ComputePricing:
+    """Price of renting VM instances from one compute provider.
+
+    ``instance_day`` maps an instance-size name (``"large"``,
+    ``"extra_large"``) to its rental price in dollars per day.
+    """
+
+    provider: str
+    instance_day: tuple[tuple[str, float], ...]
+
+    def price_per_day(self, instance: str) -> float:
+        """Dollar cost of renting one ``instance`` for a day."""
+        for name, price in self.instance_day:
+            if name == instance:
+                return price
+        raise KeyError(f"unknown instance size {instance!r} for provider {self.provider}")
+
+
+#: Approximate number of 1 KB metadata tuples a DepSpace deployment can hold in
+#: memory per instance size (Figure 11(a): 7M files for Large, 15M for Extra Large).
+COORDINATION_CAPACITY_TUPLES = {
+    "large": 7_000_000,
+    "extra_large": 15_000_000,
+}

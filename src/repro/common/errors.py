@@ -1,0 +1,129 @@
+"""Exception hierarchy for the SCFS reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can distinguish *expected* distributed-systems failures (a cloud being
+unavailable, a lock being held, a quorum not being reached) from programming
+errors, which surface as plain Python exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the reproduction library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or invalid parameters."""
+
+
+# ---------------------------------------------------------------------------
+# Cloud storage errors
+# ---------------------------------------------------------------------------
+
+
+class CloudError(ReproError):
+    """Base class for errors raised by (simulated) cloud storage services."""
+
+
+class CloudUnavailableError(CloudError):
+    """The cloud provider is currently unreachable (outage / fault injection)."""
+
+
+class ObjectNotFoundError(CloudError):
+    """The requested object key does not exist (or is not yet visible)."""
+
+
+class AccessDeniedError(CloudError):
+    """The principal performing the request lacks the required permission."""
+
+
+class IntegrityError(CloudError):
+    """Data read back from a cloud does not match its expected digest."""
+
+
+# ---------------------------------------------------------------------------
+# Coordination service errors
+# ---------------------------------------------------------------------------
+
+
+class CoordinationError(ReproError):
+    """Base class for errors raised by the coordination service."""
+
+
+class TupleNotFoundError(CoordinationError):
+    """No tuple matched the given template."""
+
+
+class ConflictError(CoordinationError):
+    """A conditional (compare-and-swap style) update failed."""
+
+
+class LockHeldError(CoordinationError):
+    """The lock is already held by another session."""
+
+
+class NotLockOwnerError(CoordinationError):
+    """An unlock was attempted by a session that does not own the lock."""
+
+
+class QuorumNotReachedError(ReproError):
+    """Fewer than the required number of replicas/clouds answered."""
+
+    def __init__(self, message: str, responses: int = 0, required: int = 0):
+        super().__init__(message)
+        self.responses = responses
+        self.required = required
+
+
+# ---------------------------------------------------------------------------
+# File system errors (POSIX-flavoured)
+# ---------------------------------------------------------------------------
+
+
+class FileSystemError(ReproError):
+    """Base class for errors raised by the file-system layer."""
+
+    errno_name = "EIO"
+
+
+class FileNotFoundErrorFS(FileSystemError):
+    """Path does not exist (ENOENT)."""
+
+    errno_name = "ENOENT"
+
+
+class FileExistsErrorFS(FileSystemError):
+    """Path already exists (EEXIST)."""
+
+    errno_name = "EEXIST"
+
+
+class NotADirectoryErrorFS(FileSystemError):
+    """A path component used as a directory is not one (ENOTDIR)."""
+
+    errno_name = "ENOTDIR"
+
+
+class IsADirectoryErrorFS(FileSystemError):
+    """File operation attempted on a directory (EISDIR)."""
+
+    errno_name = "EISDIR"
+
+
+class DirectoryNotEmptyError(FileSystemError):
+    """rmdir on a non-empty directory (ENOTEMPTY)."""
+
+    errno_name = "ENOTEMPTY"
+
+
+class PermissionDeniedError(FileSystemError):
+    """The caller lacks permission for the operation (EACCES)."""
+
+    errno_name = "EACCES"
+
+
+class InvalidHandleError(FileSystemError):
+    """Operation on a closed or unknown file handle (EBADF)."""
+
+    errno_name = "EBADF"

@@ -1,0 +1,52 @@
+"""Coordination services (the SCFS *consistency anchor*).
+
+SCFS stores file-system metadata in, and synchronises through, a fault-tolerant
+coordination service rather than an embedded lock/metadata manager (§1,
+*modular coordination*).  The paper's prototype supports two such services —
+DepSpace (a Byzantine fault-tolerant tuple space) and Apache ZooKeeper (a
+crash fault-tolerant znode tree) — and this package reproduces both:
+
+* :mod:`~repro.coordination.tuplespace` — a DepSpace-like tuple space with
+  ``out/rdp/inp/cas/replace`` operations, timed (ephemeral) tuples and the
+  trigger extension the paper added for efficient ``rename``;
+* :mod:`~repro.coordination.zookeeper` — a ZooKeeper-like hierarchical znode
+  store with versioned writes, ephemeral and sequential nodes;
+* :mod:`~repro.coordination.replication` — a simulated state-machine
+  replication layer offering crash (2f+1) and Byzantine (3f+1) configurations
+  with quorum availability checks;
+* :mod:`~repro.coordination.locks` — the lock recipes (§2.5.1) built from
+  ephemeral entries, guaranteeing automatic unlock when a client crashes;
+* :mod:`~repro.coordination.base`/:mod:`~repro.coordination.adapters` — the
+  thin ``CoordinationService`` wrapper interface the SCFS Agent programs
+  against, with adapters for both concrete services.
+"""
+
+from repro.coordination.base import CoordinationService, Entry, Session
+from repro.coordination.tuplespace import DepSpace, TupleEntry
+from repro.coordination.zookeeper import ZooKeeperLike, ZNode
+from repro.coordination.replication import ReplicatedStateMachine, FaultModel
+from repro.coordination.locks import LockManager
+from repro.coordination.adapters import (
+    DepSpaceCoordination,
+    ZooKeeperCoordination,
+    make_coordination_service,
+)
+from repro.coordination.partitioned import PartitionedCoordination, partition_by_top_level_directory
+
+__all__ = [
+    "CoordinationService",
+    "Entry",
+    "Session",
+    "DepSpace",
+    "TupleEntry",
+    "ZooKeeperLike",
+    "ZNode",
+    "ReplicatedStateMachine",
+    "FaultModel",
+    "LockManager",
+    "DepSpaceCoordination",
+    "ZooKeeperCoordination",
+    "make_coordination_service",
+    "PartitionedCoordination",
+    "partition_by_top_level_directory",
+]

@@ -1,0 +1,138 @@
+"""The coordination-service interface the SCFS Agent programs against.
+
+The agent needs surprisingly little from the coordination service (§2.3):
+
+* linearizable storage of *small* entries (metadata tuples of ~1 KB);
+* versioned conditional updates (to detect concurrent metadata changes);
+* ephemeral entries bound to a client session (for locks that disappear if
+  the client crashes);
+* per-entry access control (the agent is untrusted, §2.6).
+
+Concrete services (the DepSpace-like tuple space and the ZooKeeper-like znode
+tree) are adapted to this interface by :mod:`repro.coordination.adapters`;
+SCFS code never depends on a specific service, which is exactly the paper's
+*modular coordination* principle.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.common.types import Permission, Principal
+
+
+@dataclass(frozen=True)
+class Entry:
+    """A small, versioned entry stored in the coordination service."""
+
+    key: str
+    value: bytes
+    version: int
+    owner: str
+    ephemeral_session: str | None = None
+
+
+@dataclass
+class Session:
+    """A client session; ephemeral entries vanish when the session expires."""
+
+    session_id: str
+    principal: Principal
+    lease_seconds: float
+    last_renewal: float
+
+    def expired(self, now: float) -> bool:
+        """True once the lease has elapsed without a renewal."""
+        return now > self.last_renewal + self.lease_seconds
+
+
+@dataclass
+class EntryACL:
+    """Access-control list of one coordination-service entry."""
+
+    owner: str
+    grants: dict[str, Permission] = field(default_factory=dict)
+
+    def allows(self, user: str, permission: Permission) -> bool:
+        """True if ``user`` may perform ``permission`` on the entry.
+
+        The pseudo-user ``"*"`` stands for "any authenticated user"; it is used
+        for entries that must be world-readable inside the file system, such as
+        the per-user canonical-identifier tuples (§2.6).
+        """
+        if user == self.owner:
+            return True
+        granted = self.grants.get(user, Permission.NONE) | self.grants.get("*", Permission.NONE)
+        return (granted & permission) == permission
+
+
+class CoordinationService(abc.ABC):
+    """Linearizable storage of small entries plus session-bound locks."""
+
+    # -- sessions -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def open_session(self, principal: Principal, lease_seconds: float = 30.0) -> Session:
+        """Open a session for ``principal``; ephemeral state binds to it."""
+
+    @abc.abstractmethod
+    def renew_session(self, session: Session) -> None:
+        """Extend the session lease (heartbeat)."""
+
+    @abc.abstractmethod
+    def close_session(self, session: Session) -> None:
+        """Close the session, releasing its ephemeral entries and locks."""
+
+    # -- entries ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def put(self, key: str, value: bytes, session: Session,
+            expected_version: int | None = None) -> Entry:
+        """Create or update the entry under ``key``.
+
+        When ``expected_version`` is given the update only succeeds if the
+        current version matches (compare-and-swap);
+        :class:`~repro.common.errors.ConflictError` is raised otherwise.
+        """
+
+    @abc.abstractmethod
+    def get(self, key: str, session: Session) -> Entry:
+        """Return the entry under ``key`` or raise ``TupleNotFoundError``."""
+
+    @abc.abstractmethod
+    def delete(self, key: str, session: Session) -> None:
+        """Remove the entry under ``key`` (idempotent)."""
+
+    @abc.abstractmethod
+    def list_prefix(self, prefix: str, session: Session) -> list[str]:
+        """List keys starting with ``prefix`` readable by the session principal."""
+
+    @abc.abstractmethod
+    def set_entry_acl(self, key: str, user: str, permission: Permission,
+                      session: Session) -> None:
+        """Grant ``permission`` on ``key`` to ``user`` (owner only)."""
+
+    # -- locking ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def try_lock(self, name: str, session: Session) -> bool:
+        """Attempt to acquire the ephemeral lock ``name``; False if already held."""
+
+    @abc.abstractmethod
+    def unlock(self, name: str, session: Session) -> None:
+        """Release the lock ``name`` held by this session."""
+
+    @abc.abstractmethod
+    def lock_holder(self, name: str) -> str | None:
+        """Session id currently holding ``name`` (None when free); test helper."""
+
+    # -- introspection -------------------------------------------------------
+
+    @abc.abstractmethod
+    def entry_count(self) -> int:
+        """Number of entries currently stored (capacity planning, Figure 11a)."""
+
+    @abc.abstractmethod
+    def stored_bytes(self) -> int:
+        """Approximate memory footprint of the stored entries in bytes."""

@@ -1,0 +1,83 @@
+"""Lock recipes built on top of a coordination service.
+
+SCFS's lock service "is basically a wrapper for implementing coordination
+recipes for locking using the coordination service of choice" (§2.5.1).  The
+only strict requirement is that lock entries are *ephemeral*: a crashed client
+must not hold its locks forever.  Both concrete services satisfy this —
+DepSpace through timed tuples, ZooKeeper through ephemeral znodes — so the
+recipe here only adds retry/timeout policy and bookkeeping on top of
+:meth:`~repro.coordination.base.CoordinationService.try_lock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import LockHeldError, NotLockOwnerError
+from repro.coordination.base import CoordinationService, Session
+from repro.simenv.environment import Simulation
+
+
+@dataclass
+class LockManager:
+    """Acquire/release named locks for one client session.
+
+    Parameters
+    ----------
+    sim:
+        Simulation environment (used to wait between retries).
+    service:
+        The coordination service holding the ephemeral lock entries.
+    session:
+        The client session on whose behalf locks are taken.
+    retry_interval:
+        Simulated seconds to wait between acquisition attempts.
+    max_retries:
+        Number of retries after the first failed attempt before giving up.
+    """
+
+    sim: Simulation
+    service: CoordinationService
+    session: Session
+    retry_interval: float = 0.2
+    max_retries: int = 0
+    held: set[str] = field(default_factory=set)
+
+    def try_acquire(self, name: str) -> bool:
+        """Single non-blocking acquisition attempt (re-entrant for this session)."""
+        if name in self.held:
+            return True
+        acquired = self.service.try_lock(name, self.session)
+        if acquired:
+            self.held.add(name)
+        return acquired
+
+    def acquire(self, name: str) -> None:
+        """Acquire ``name``, retrying up to ``max_retries`` times.
+
+        Raises :class:`LockHeldError` if the lock stays unavailable, which the
+        file system surfaces as an open-for-writing error (§2.5.2).
+        """
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            if self.try_acquire(name):
+                return
+            if attempt != attempts - 1:
+                self.sim.advance(self.retry_interval)
+        raise LockHeldError(f"lock {name!r} is held by another client")
+
+    def release(self, name: str) -> None:
+        """Release a lock previously acquired by this manager."""
+        if name not in self.held:
+            raise NotLockOwnerError(f"this session does not hold lock {name!r}")
+        self.service.unlock(name, self.session)
+        self.held.discard(name)
+
+    def release_all(self) -> None:
+        """Release every lock held by this manager (used on unmount/crash cleanup)."""
+        for name in list(self.held):
+            self.release(name)
+
+    def holds(self, name: str) -> bool:
+        """True if this manager currently believes it holds ``name``."""
+        return name in self.held

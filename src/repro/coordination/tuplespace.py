@@ -1,0 +1,255 @@
+"""A DepSpace-like Byzantine fault-tolerant tuple space.
+
+DepSpace [Bessani et al., EuroSys'08] stores *tuples* — ordered sequences of
+typed fields — and offers Linda-style operations extended with the primitives
+SCFS needs:
+
+``out``      insert a tuple
+``rdp``      read (non-destructively) a tuple matching a template
+``inp``      read and remove a tuple matching a template
+``cas``      conditional atomic: insert the tuple only if no tuple matches the template
+``replace``  atomically remove the tuple matching a template and insert another
+
+Two extensions from the SCFS paper are reproduced:
+
+* **timed (ephemeral) tuples** — a tuple inserted with a lease disappears once
+  the lease elapses unless renewed; SCFS represents locks this way so that a
+  crashed client's locks are automatically released (§2.5.1);
+* **triggers** — server-side rules that rewrite matching tuples when another
+  tuple is updated; the paper added them to DepSpace to implement ``rename``
+  efficiently (§3.2).  A trigger here is a pure function registered under a
+  name and invoked through the ``fire_trigger`` command so that all replicas
+  apply the same deterministic rewrite.
+
+The class is a deterministic state machine: it can be used standalone or
+replicated through :class:`~repro.coordination.replication.ReplicatedStateMachine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.common.errors import ConflictError, TupleNotFoundError
+
+
+class _AnyField:
+    """Wildcard template field (matches any value)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "ANY"
+
+
+#: Wildcard used in templates.
+ANY = _AnyField()
+
+Tuple = tuple
+Template = tuple
+
+
+def matches(template: Template, fields: Tuple) -> bool:
+    """True if ``fields`` matches ``template`` (same arity, wildcards allowed)."""
+    if len(template) != len(fields):
+        return False
+    return all(t is ANY or t == f for t, f in zip(template, fields))
+
+
+@dataclass
+class TupleEntry:
+    """A stored tuple plus its housekeeping metadata."""
+
+    fields: Tuple
+    created_at: float
+    expires_at: float | None = None
+    owner: str | None = None
+    sequence: int = 0
+
+    def expired(self, now: float) -> bool:
+        """True once the tuple's lease elapsed (never for persistent tuples)."""
+        return self.expires_at is not None and now >= self.expires_at
+
+
+@dataclass
+class DepSpace:
+    """Deterministic DepSpace state machine (single logical space).
+
+    All mutating operations receive the current simulated time ``now`` so that
+    replicated copies expire timed tuples identically.
+    """
+
+    entries: list[TupleEntry] = field(default_factory=list)
+    triggers: dict[str, Callable[[Tuple, Any], Tuple]] = field(default_factory=dict)
+    _sequence: int = 0
+    operations_applied: int = 0
+
+    # ------------------------------------------------------------------ admin
+
+    def register_trigger(self, name: str, func: Callable[[Tuple, Any], Tuple]) -> None:
+        """Register a deterministic rewrite function usable via ``fire_trigger``.
+
+        Triggers must be registered identically on every replica *before* the
+        space starts serving requests (they are part of the service's code, not
+        of its replicated state).
+        """
+        self.triggers[name] = func
+
+    # ------------------------------------------------------------- primitives
+
+    def _sweep(self, now: float) -> None:
+        self.entries = [e for e in self.entries if not e.expired(now)]
+
+    def _find(self, template: Template, now: float) -> TupleEntry | None:
+        self._sweep(now)
+        for entry in self.entries:
+            if matches(template, entry.fields):
+                return entry
+        return None
+
+    def out(self, fields: Tuple, now: float, lease: float | None = None,
+            owner: str | None = None) -> TupleEntry:
+        """Insert a tuple; ``lease`` (seconds) makes it a timed/ephemeral tuple."""
+        self._sweep(now)
+        self._sequence += 1
+        entry = TupleEntry(
+            fields=tuple(fields),
+            created_at=now,
+            expires_at=None if lease is None else now + lease,
+            owner=owner,
+            sequence=self._sequence,
+        )
+        self.entries.append(entry)
+        self.operations_applied += 1
+        return entry
+
+    def rdp(self, template: Template, now: float) -> Tuple | None:
+        """Read (without removing) one tuple matching ``template``; None if absent."""
+        self.operations_applied += 1
+        entry = self._find(template, now)
+        return entry.fields if entry else None
+
+    def rdp_all(self, template: Template, now: float) -> list[Tuple]:
+        """Read all tuples matching ``template``."""
+        self._sweep(now)
+        self.operations_applied += 1
+        return [e.fields for e in self.entries if matches(template, e.fields)]
+
+    def inp(self, template: Template, now: float) -> Tuple | None:
+        """Read and remove one tuple matching ``template``; None if absent."""
+        self.operations_applied += 1
+        entry = self._find(template, now)
+        if entry is None:
+            return None
+        self.entries.remove(entry)
+        return entry.fields
+
+    def cas(self, template: Template, fields: Tuple, now: float,
+            lease: float | None = None, owner: str | None = None) -> bool:
+        """Insert ``fields`` only if no tuple matches ``template``.
+
+        Returns True on success; False (without inserting) when a matching
+        tuple already exists.  This is the synchronisation-powerful operation
+        SCFS uses for locking and for create-if-absent metadata updates.
+        """
+        self.operations_applied += 1
+        if self._find(template, now) is not None:
+            return False
+        self.out(fields, now, lease=lease, owner=owner)
+        return True
+
+    def replace(self, template: Template, fields: Tuple, now: float,
+                lease: float | None = None, owner: str | None = None) -> bool:
+        """Atomically remove the tuple matching ``template`` and insert ``fields``.
+
+        Returns False (and inserts nothing) when no tuple matches the template,
+        allowing the caller to detect lost updates.
+        """
+        self.operations_applied += 1
+        entry = self._find(template, now)
+        if entry is None:
+            return False
+        self.entries.remove(entry)
+        self.out(fields, now, lease=lease, owner=owner)
+        return True
+
+    def renew(self, template: Template, now: float, lease: float) -> bool:
+        """Extend the lease of the timed tuple matching ``template``."""
+        self.operations_applied += 1
+        entry = self._find(template, now)
+        if entry is None or entry.expires_at is None:
+            return False
+        entry.expires_at = now + lease
+        return True
+
+    def fire_trigger(self, name: str, template: Template, argument: Any, now: float) -> int:
+        """Apply the registered trigger ``name`` to every tuple matching ``template``.
+
+        Returns the number of rewritten tuples.  Used by SCFS to implement
+        ``rename`` of a directory as one round trip instead of one ``replace``
+        per descendant.
+        """
+        self.operations_applied += 1
+        if name not in self.triggers:
+            raise TupleNotFoundError(f"no trigger registered under {name!r}")
+        rewrite = self.triggers[name]
+        self._sweep(now)
+        count = 0
+        for entry in self.entries:
+            if matches(template, entry.fields):
+                entry.fields = tuple(rewrite(entry.fields, argument))
+                count += 1
+        return count
+
+    def count(self, template: Template, now: float) -> int:
+        """Number of live tuples matching ``template``."""
+        self._sweep(now)
+        return sum(1 for e in self.entries if matches(template, e.fields))
+
+    def total_tuples(self, now: float) -> int:
+        """Number of live tuples in the space."""
+        self._sweep(now)
+        return len(self.entries)
+
+    def stored_bytes(self, now: float) -> int:
+        """Approximate memory footprint of the live tuples."""
+        self._sweep(now)
+        total = 0
+        for entry in self.entries:
+            for fld in entry.fields:
+                if isinstance(fld, bytes):
+                    total += len(fld)
+                elif isinstance(fld, str):
+                    total += len(fld.encode())
+                else:
+                    total += 8
+        return total
+
+    # ------------------------------------------------------------ replication
+
+    def apply(self, command: tuple[str, tuple, dict]) -> Any:
+        """Dispatch a replicated command (see :class:`ReplicatedStateMachine`)."""
+        operation, args, kwargs = command
+        handler = getattr(self, operation, None)
+        if handler is None or operation.startswith("_"):
+            raise ConflictError(f"unknown DepSpace operation {operation!r}")
+        return handler(*args, **kwargs)
+
+
+def make_depspace_with_triggers(extra: Iterable[tuple[str, Callable[[Tuple, Any], Tuple]]] = ()) -> DepSpace:
+    """Build a DepSpace instance with SCFS's standard triggers registered.
+
+    The standard ``rename_prefix`` trigger rewrites the *parent path* field
+    (index 2) of metadata tuples whose parent lies under the old prefix.
+    """
+    space = DepSpace()
+
+    def rename_prefix(fields: Tuple, argument: Any) -> Tuple:
+        old_prefix, new_prefix = argument
+        updated = list(fields)
+        if isinstance(updated[2], str) and updated[2].startswith(old_prefix):
+            updated[2] = new_prefix + updated[2][len(old_prefix):]
+        return tuple(updated)
+
+    space.register_trigger("rename_prefix", rename_prefix)
+    for name, func in extra:
+        space.register_trigger(name, func)
+    return space

@@ -1,0 +1,59 @@
+"""SCFS — the Shared Cloud-backed File System (the paper's primary contribution).
+
+The package mirrors the component structure of §2/§3 of the paper:
+
+* :mod:`~repro.core.config` / :mod:`~repro.core.modes` — configuration of the
+  six SCFS variants of Table 2 (blocking, non-blocking, non-sharing × AWS, CoC);
+* :mod:`~repro.core.backend` — the storage backplane: a single-cloud backend
+  (SCFS-AWS) and a DepSky cloud-of-clouds backend (SCFS-CoC);
+* :mod:`~repro.core.consistency` — the consistency-anchor algorithm of
+  Figure 3, decoupled from the file system;
+* :mod:`~repro.core.cache` — memory/disk LRU data caches and the short-lived
+  metadata cache;
+* :mod:`~repro.core.metadata` — metadata tuples (files, directories, links,
+  ACLs) and their serialisation;
+* :mod:`~repro.core.metadata_service`, :mod:`~repro.core.storage_service`,
+  :mod:`~repro.core.lock_service` — the three local services of the SCFS Agent
+  (§2.5.1);
+* :mod:`~repro.core.pns` — Private Name Spaces (§2.7);
+* :mod:`~repro.core.gc` — the versioned garbage collector (§2.5.3);
+* :mod:`~repro.core.agent` — the SCFS Agent implementing the call flows of
+  Figure 4 with consistency-on-close semantics;
+* :mod:`~repro.core.filesystem` — the POSIX-like façade (open/read/write/
+  close/fsync/mkdir/rename/...) applications program against;
+* :mod:`~repro.core.deployment` — helpers that assemble complete deployments
+  (clouds + coordination + agents) for each Table 2 variant.
+"""
+
+from repro.core.config import SCFSConfig, BackendKind, GarbageCollectionPolicy, CacheConfig
+from repro.core.modes import OperationMode, VariantSpec, VARIANTS, variant
+from repro.core.metadata import FileMetadata, FileType
+from repro.core.backend import StorageBackend, SingleCloudBackend, CloudOfCloudsBackend
+from repro.core.consistency import AnchoredStorage, ConsistencyAnchor, DictConsistencyAnchor
+from repro.core.filesystem import SCFSFileSystem, DurabilityLevel
+from repro.core.agent import SCFSAgent, OpenFlags
+from repro.core.deployment import SCFSDeployment
+
+__all__ = [
+    "SCFSConfig",
+    "BackendKind",
+    "GarbageCollectionPolicy",
+    "CacheConfig",
+    "OperationMode",
+    "VariantSpec",
+    "VARIANTS",
+    "variant",
+    "FileMetadata",
+    "FileType",
+    "StorageBackend",
+    "SingleCloudBackend",
+    "CloudOfCloudsBackend",
+    "AnchoredStorage",
+    "ConsistencyAnchor",
+    "DictConsistencyAnchor",
+    "SCFSFileSystem",
+    "DurabilityLevel",
+    "SCFSAgent",
+    "OpenFlags",
+    "SCFSDeployment",
+]

@@ -1,0 +1,643 @@
+"""The SCFS Agent (§2.5): the client-side component implementing the file system.
+
+The agent glues together the three local services (metadata, storage, locking),
+the local caches, the Private Name Space, the garbage collector and the
+storage backend, implementing the call flows of Figure 4:
+
+* ``open``  — read the metadata (cache → PNS → coordination), optionally lock
+  the file when opening for writing, then bring the file data into the local
+  caches (from the cloud only when the locally cached copy does not match the
+  anchored hash);
+* ``write``/``read`` — operate purely on the main-memory copy of the open file
+  (durability level 0);
+* ``fsync`` — flush the open file to the local disk cache (level 1);
+* ``close`` — synchronise data and metadata: push the new version to the
+  cloud(s), update the metadata tuple in the coordination service (or the
+  PNS), and release the write lock.  In the *blocking* mode all of this
+  happens before ``close`` returns; in the *non-blocking* mode the upload, the
+  metadata update and the unlock happen in the background, in that order, so
+  mutual exclusion and consistency-on-close are preserved; in the
+  *non-sharing* mode there is no coordination service at all and both data and
+  PNS updates are pushed in the background.
+
+The agent charges a small FUSE-crossing overhead per call plus the latency of
+whatever storage layers the call actually touches, so that simulated latencies
+reproduce the shape of the paper's measurements.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.common.errors import (
+    FileNotFoundErrorFS,
+    FileSystemError,
+    InvalidHandleError,
+    IsADirectoryErrorFS,
+    NotADirectoryErrorFS,
+    DirectoryNotEmptyError,
+    ObjectNotFoundError,
+    PermissionDeniedError,
+)
+from repro.common.types import ObjectRef, Permission, Principal, fresh_id
+from repro.coordination.base import CoordinationService
+from repro.core.backend import StorageBackend
+from repro.core.cache import MetadataCache, make_disk_cache, make_memory_cache
+from repro.core.config import SCFSConfig
+from repro.core.gc import GarbageCollector
+from repro.core.lock_service import LockService
+from repro.core.metadata import FileMetadata, FileType, normalize_path, parent_path
+from repro.core.metadata_service import MetadataService
+from repro.core.modes import OperationMode
+from repro.core.pns import PrivateNameSpace
+from repro.core.storage_service import StorageService
+from repro.core.users import UserRegistry
+from repro.crypto.hashing import content_digest
+from repro.simenv.environment import Simulation
+from repro.simenv.latency import FUSE_OVERHEAD
+
+
+class OpenFlags(enum.Flag):
+    """Subset of POSIX open(2) flags relevant to SCFS."""
+
+    READ = enum.auto()
+    WRITE = enum.auto()
+    CREATE = enum.auto()
+    TRUNCATE = enum.auto()
+    READ_WRITE = READ | WRITE
+
+
+@dataclass
+class OpenFile:
+    """State of one open file handle (kept in the agent's open-file table)."""
+
+    handle: int
+    metadata: FileMetadata
+    flags: OpenFlags
+    buffer: bytearray
+    dirty: bool = False
+    locked: bool = False
+    private: bool = False
+    fsynced_digest: str = ""
+
+    @property
+    def writable(self) -> bool:
+        return bool(self.flags & OpenFlags.WRITE)
+
+
+@dataclass
+class AgentStatistics:
+    """Counters exposed for tests, reports and the benchmark harness."""
+
+    syscalls: int = 0
+    opens: int = 0
+    closes: int = 0
+    reads: int = 0
+    writes: int = 0
+    background_uploads: int = 0
+    pending_uploads: int = 0
+    lock_conflicts: int = 0
+    consistency_retries: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+
+class SCFSAgent:
+    """The user-space file-system client mounted at one user's machine."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        config: SCFSConfig,
+        principal: Principal,
+        backend: StorageBackend,
+        coordination: CoordinationService | None = None,
+    ):
+        config.validate()
+        if config.mode.uses_coordination and coordination is None:
+            raise FileSystemError(
+                f"the {config.mode.value} mode requires a coordination service"
+            )
+        self.sim = sim
+        self.config = config
+        self.principal = principal
+        self.backend = backend
+        self.coordination = coordination if config.mode.uses_coordination else None
+        self.stats = AgentStatistics()
+        self._handles: dict[int, OpenFile] = {}
+        self._next_handle = itertools.count(3)  # 0-2 "taken" by stdio, as in POSIX
+        #: Files whose upload/metadata commit is still pending in the background
+        #: (non-blocking and non-sharing modes); rename must redirect them.
+        self._pending_commits: list[OpenFile] = []
+        #: (file, user) pairs whose cloud-side ACL this agent already re-applied.
+        self._acl_propagated: set[str] = set()
+        self._mounted = False
+
+        # -- sessions and registries ----------------------------------------
+        self.session = None
+        if self.coordination is not None:
+            self.session = self.coordination.open_session(principal, config.lock_lease)
+        self.users = UserRegistry(self.coordination, self.session)
+        self.users.register(principal)
+
+        # -- local caches ------------------------------------------------------
+        self.memory_cache = make_memory_cache(config.caches.memory_bytes, sim.clock)
+        self.disk_cache = make_disk_cache(config.caches.disk_bytes, sim.clock)
+        self.metadata_cache = MetadataCache(sim.clock, config.caches.metadata_expiration)
+
+        # -- private name space ------------------------------------------------
+        self.pns: PrivateNameSpace | None = None
+        if config.private_name_spaces:
+            self.pns = PrivateNameSpace(
+                principal.name, backend, coordination=self.coordination, session=self.session
+            )
+
+        # -- the three local services ------------------------------------------
+        self.metadata = MetadataService(
+            sim, principal, self.metadata_cache,
+            coordination=self.coordination, session=self.session, pns=self.pns,
+        )
+        self.storage = StorageService(
+            sim, backend, self.memory_cache, self.disk_cache,
+            read_retry_interval=config.read_retry_interval,
+            read_retry_limit=config.read_retry_limit,
+        )
+        self.locks = LockService(sim, self.coordination, self.session)
+        self.gc = GarbageCollector(sim, config.gc, self.metadata, self.storage, backend)
+
+        self.mount()
+
+    # ------------------------------------------------------------------ mount
+
+    def mount(self) -> None:
+        """Load the user's PNS and lock it against concurrent mounts (§2.7)."""
+        if self._mounted:
+            return
+        if self.pns is not None:
+            if self.coordination is not None:
+                # Lock the PNS to avoid inconsistencies caused by two clients
+                # logged in as the same user.
+                self.locks.acquire(FileMetadata(
+                    path=f"/.pns-{self.principal.name}", file_type=FileType.FILE,
+                    owner=self.principal.name, file_id=self.pns.unit_id,
+                ))
+            try:
+                self.pns.load()
+            except (FileNotFoundErrorFS, ObjectNotFoundError):
+                pass
+        self._mounted = True
+
+    def unmount(self) -> None:
+        """Flush every open file, persist the PNS and release all locks."""
+        for handle in list(self._handles):
+            self.close(handle)
+        if self.pns is not None and self.pns.dirty:
+            self.pns.save(charge_latency=self.config.mode.blocks_on_close)
+        self.locks.release_all()
+        if self.coordination is not None and self.session is not None:
+            self.coordination.close_session(self.session)
+        self._mounted = False
+
+    # ------------------------------------------------------------------ helpers
+
+    def _syscall(self) -> None:
+        """Charge the FUSE user-space crossing overhead of one system call."""
+        self.stats.syscalls += 1
+        self.sim.advance(FUSE_OVERHEAD.sample(0, self.sim.rng))
+
+    def _handle(self, handle: int) -> OpenFile:
+        try:
+            return self._handles[handle]
+        except KeyError:
+            raise InvalidHandleError(f"unknown or closed file handle {handle}") from None
+
+    def _require_directory(self, path: str) -> FileMetadata:
+        meta = self.metadata.get(path)
+        if not meta.is_directory:
+            raise NotADirectoryErrorFS(f"not a directory: {path}")
+        return meta
+
+    def _check_parent(self, path: str) -> None:
+        parent = parent_path(path)
+        if parent != "/" and not self.metadata.exists(parent):
+            raise FileNotFoundErrorFS(f"parent directory does not exist: {parent}")
+
+    # ------------------------------------------------------------------- open
+
+    def open(self, path: str, flags: OpenFlags = OpenFlags.READ, shared: bool = False) -> int:
+        """Open (optionally creating) a file and return a handle.
+
+        ``shared`` forces a newly created file's metadata into the coordination
+        service even when PNSs are enabled (used to model externally-shared
+        directories and by the Figure 10(b) sweep).
+        """
+        self._syscall()
+        self.stats.opens += 1
+        path = normalize_path(path)
+        user = self.principal.name
+
+        meta = self.metadata.lookup(path)
+        created = False
+        if meta is None or meta.deleted:
+            if not flags & OpenFlags.CREATE:
+                raise FileNotFoundErrorFS(f"no such file: {path}")
+            self._check_parent(path)
+            now = self.sim.now()
+            meta = FileMetadata(
+                path=path, file_type=FileType.FILE, owner=user,
+                created_at=now, modified_at=now, file_id=fresh_id("file"),
+            )
+            self.metadata.create(meta, shared=shared)
+            created = True
+        if meta.is_directory:
+            raise IsADirectoryErrorFS(f"is a directory: {path}")
+
+        wants_write = bool(flags & (OpenFlags.WRITE | OpenFlags.TRUNCATE))
+        needed = Permission.WRITE if wants_write else Permission.READ
+        if not meta.allows(user, needed):
+            raise PermissionDeniedError(f"{user} lacks {needed} permission on {path}")
+
+        private = self.metadata.is_private(meta)
+        locked = False
+        if wants_write and not private and self.locks.enabled:
+            # Lock shared files opened for writing; failure surfaces as an error
+            # (write-write conflicts are prevented rather than merged, §2.5.1).
+            try:
+                locked = self.locks.acquire(meta)
+            except Exception:
+                self.stats.lock_conflicts += 1
+                raise
+
+        if flags & OpenFlags.TRUNCATE or (created and not meta.digest):
+            buffer = bytearray()
+            dirty = bool(flags & OpenFlags.TRUNCATE) and bool(meta.digest)
+        else:
+            outcome = self.storage.read_version(meta.file_id, meta.digest, meta.size)
+            buffer = bytearray(outcome.data)
+            dirty = False
+
+        handle = next(self._next_handle)
+        self._handles[handle] = OpenFile(
+            handle=handle, metadata=meta, flags=flags, buffer=buffer,
+            dirty=dirty or (created and False), locked=locked, private=private,
+        )
+        return handle
+
+    def create(self, path: str, data: bytes = b"", shared: bool = False) -> int:
+        """Create (or truncate) a file, optionally writing initial data."""
+        handle = self.open(path, OpenFlags.READ_WRITE | OpenFlags.CREATE | OpenFlags.TRUNCATE,
+                           shared=shared)
+        if data:
+            self.write(handle, data)
+        return handle
+
+    # -------------------------------------------------------------- read/write
+
+    def read(self, handle: int, size: int = -1, offset: int = 0) -> bytes:
+        """Read from the in-memory copy of an open file (durability level 0)."""
+        self._syscall()
+        self.stats.reads += 1
+        of = self._handle(handle)
+        if not of.flags & OpenFlags.READ:
+            raise PermissionDeniedError("file not opened for reading")
+        # The data was brought to the memory cache at open time; charge one
+        # memory access for the copy.
+        self.memory_cache.get(self._memory_key(of))
+        end = len(of.buffer) if size < 0 else min(len(of.buffer), offset + size)
+        return bytes(of.buffer[offset:end])
+
+    def write(self, handle: int, data: bytes, offset: int | None = None) -> int:
+        """Write into the in-memory copy of an open file (durability level 0)."""
+        self._syscall()
+        self.stats.writes += 1
+        of = self._handle(handle)
+        if not of.writable:
+            raise PermissionDeniedError("file not opened for writing")
+        if offset is None:
+            offset = len(of.buffer)
+        if offset > len(of.buffer):
+            of.buffer.extend(b"\x00" * (offset - len(of.buffer)))
+        of.buffer[offset:offset + len(data)] = data
+        of.dirty = True
+        # Update the memory cache and the cached metadata (size/mtime), as in
+        # Figure 4's write flow.
+        self.memory_cache.put(self._memory_key(of), bytes(of.buffer))
+        of.metadata.touch(self.sim.now(), size=len(of.buffer))
+        self.metadata_cache.put(of.metadata.path, of.metadata.copy())
+        return len(data)
+
+    def truncate(self, handle: int, length: int = 0) -> None:
+        """Truncate (or extend with zeros) the in-memory copy of an open file."""
+        self._syscall()
+        of = self._handle(handle)
+        if not of.writable:
+            raise PermissionDeniedError("file not opened for writing")
+        if length <= len(of.buffer):
+            del of.buffer[length:]
+        else:
+            of.buffer.extend(b"\x00" * (length - len(of.buffer)))
+        of.dirty = True
+        of.metadata.touch(self.sim.now(), size=len(of.buffer))
+        self.metadata_cache.put(of.metadata.path, of.metadata.copy())
+
+    def _memory_key(self, of: OpenFile) -> str:
+        return f"{of.metadata.file_id}#open"
+
+    # ------------------------------------------------------------------- fsync
+
+    def fsync(self, handle: int) -> None:
+        """Flush an open file to the local disk (durability level 1, Table 1)."""
+        self._syscall()
+        of = self._handle(handle)
+        if not of.dirty:
+            return
+        data = bytes(of.buffer)
+        digest = content_digest(data)
+        if digest != of.fsynced_digest:
+            self.storage.flush_to_disk(of.metadata.file_id, digest, data)
+            of.fsynced_digest = digest
+
+    # ------------------------------------------------------------------- close
+
+    def close(self, handle: int) -> None:
+        """Close a file, synchronising data and metadata per the current mode."""
+        self._syscall()
+        self.stats.closes += 1
+        of = self._handles.pop(handle, None)
+        if of is None:
+            raise InvalidHandleError(f"unknown or closed file handle {handle}")
+        self.memory_cache.remove(self._memory_key(of))
+        if not of.dirty or not of.writable:
+            if of.locked:
+                self.locks.release(of.metadata)
+            return
+
+        data = bytes(of.buffer)
+        digest = content_digest(data)
+        meta = of.metadata
+        meta.digest = digest
+        meta.size = len(data)
+        meta.modified_at = self.sim.now()
+        meta.data_version += 1
+
+        # Step 1 (all modes): the updated data is copied to the local disk and
+        # kept in the local caches under its new version key.
+        self.storage.flush_to_disk(meta.file_id, digest, data)
+        self.storage.store_in_memory(meta.file_id, digest, data)
+
+        if self.config.mode is OperationMode.BLOCKING:
+            self._commit_blocking(of, data)
+        else:
+            self._commit_background(of, data)
+        self.gc.maybe_schedule()
+
+    def _commit_blocking(self, of: OpenFile, data: bytes) -> None:
+        meta = of.metadata
+        ref = self.storage.push_to_cloud(meta.file_id, data)
+        self._propagate_cloud_acls(meta)
+        self._apply_committed_metadata(of, ref, charge=True)
+        if of.locked:
+            self.locks.release(meta)
+
+    def _propagate_cloud_acls(self, meta: FileMetadata) -> None:
+        """Make a version written by a *grantee* readable by the owner and peers.
+
+        New cloud objects belong to whoever uploaded them.  When that is not
+        the file's owner (a user with a write grant updated the file), the
+        other parties would be unable to download the new version, so the
+        writer re-applies the file's ACL to the storage prefix.  Done at most
+        once per (file, party) pair per agent.
+        """
+        if meta.owner == self.principal.name:
+            return
+        applied = self.stats.extra.setdefault("acl_propagations", 0)
+        parties = {meta.owner: Permission.READ_WRITE}
+        for user, permission in meta.grants.items():
+            if user != self.principal.name:
+                parties[user] = permission
+        for user, permission in parties.items():
+            marker = f"aclprop:{meta.file_id}:{user}"
+            if marker in self._acl_propagated:
+                continue
+            try:
+                grantee = self.users.lookup(user)
+            except FileNotFoundErrorFS:
+                continue
+            self.backend.set_acl(meta.file_id, grantee, permission)
+            self._acl_propagated.add(marker)
+            self.stats.extra["acl_propagations"] = applied + 1
+
+    def _commit_background(self, of: OpenFile, data: bytes) -> None:
+        """Non-blocking / non-sharing close: upload and metadata update in background."""
+        meta = of.metadata
+        delay = self.backend.estimate_write_latency(len(data))
+        self.stats.pending_uploads += 1
+        self._pending_commits.append(of)
+        # The local caches already hold the new version, so the *local* user
+        # immediately observes its own update; remote visibility (metadata in
+        # the coordination service) only happens when the upload completes.
+        self.metadata_cache.put(meta.path, meta.copy())
+
+        def complete() -> None:
+            self.stats.pending_uploads -= 1
+            self.stats.background_uploads += 1
+            if of in self._pending_commits:
+                self._pending_commits.remove(of)
+            with self._coordination_uncharged():
+                ref = self.storage.push_to_cloud_uncharged(meta.file_id, data)
+                with self.backend.uncharged():
+                    self._propagate_cloud_acls(meta)
+                self._apply_committed_metadata(of, ref, charge=False)
+                if of.locked:
+                    self.locks.release(of.metadata)
+
+        self.sim.schedule(delay, complete, name=f"upload:{meta.path}")
+
+    @contextlib.contextmanager
+    def _coordination_uncharged(self):
+        """Suspend coordination-service latency charging (background work only)."""
+        rsm = getattr(self.coordination, "rsm", None)
+        if rsm is None:
+            yield
+            return
+        previous = rsm.charge_latency
+        rsm.charge_latency = False
+        try:
+            yield
+        finally:
+            rsm.charge_latency = previous
+
+    def _apply_committed_metadata(self, of: OpenFile, ref: ObjectRef, charge: bool) -> None:
+        meta = of.metadata
+        if not charge:
+            # Background commits run after close() returned, so metadata-only
+            # changes (a setfacl, an unlink, a PNS promotion) may have landed
+            # in the meantime; merge them instead of clobbering the entry with
+            # the snapshot taken at close time.  (Blocking commits cannot
+            # race: the agent is single-threaded while close() runs.)
+            latest = self.metadata.lookup(meta.path, use_cache=False)
+            if latest is not None:
+                meta.grants = dict(latest.grants)
+                meta.deleted = latest.deleted
+        meta.digest = ref.digest
+        meta.size = ref.size
+        # Decide placement from the *current* state of the file, not from the
+        # snapshot taken at open time: the file may have been promoted out of
+        # the PNS (setfacl) while the upload was pending.
+        private_now = self.pns is not None and (
+            self.pns.contains(meta.path) or self.coordination is None
+        )
+        if private_now:
+            self.pns.put(meta)
+            self.pns.save(charge_latency=charge)
+            self.metadata_cache.put(meta.path, meta.copy())
+        else:
+            if charge:
+                self.metadata.update(meta)
+            else:
+                self._update_metadata_uncharged(meta)
+
+    def _update_metadata_uncharged(self, meta: FileMetadata) -> None:
+        with self._coordination_uncharged():
+            self.metadata.update(meta)
+
+    # -------------------------------------------------------------- namespace
+
+    def mkdir(self, path: str, shared: bool = False) -> None:
+        """Create a directory."""
+        self._syscall()
+        path = normalize_path(path)
+        self._check_parent(path)
+        parent = self.metadata.get(parent_path(path)) if parent_path(path) != "/" else None
+        if parent is not None and not parent.is_directory:
+            raise NotADirectoryErrorFS(f"not a directory: {parent_path(path)}")
+        now = self.sim.now()
+        meta = FileMetadata(path=path, file_type=FileType.DIRECTORY, owner=self.principal.name,
+                            created_at=now, modified_at=now)
+        self.metadata.create(meta, shared=shared)
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        self._syscall()
+        meta = self._require_directory(path)
+        if self.metadata.list_children(path):
+            raise DirectoryNotEmptyError(f"directory not empty: {path}")
+        if not meta.allows(self.principal.name, Permission.WRITE):
+            raise PermissionDeniedError(f"cannot remove {path}")
+        self.metadata.remove(path)
+
+    def readdir(self, path: str) -> list[str]:
+        """List the names of the entries of a directory."""
+        self._syscall()
+        self._require_directory(path)
+        return [m.name for m in self.metadata.list_children(path)]
+
+    def stat(self, path: str) -> FileMetadata:
+        """Return the metadata of a path (the equivalent of ``stat(2)``)."""
+        self._syscall()
+        return self.metadata.get(path)
+
+    def exists(self, path: str) -> bool:
+        """True when ``path`` exists and is not deleted."""
+        self._syscall()
+        return self.metadata.exists(path)
+
+    def unlink(self, path: str) -> None:
+        """Remove a file (marked deleted; storage reclaimed later by the GC)."""
+        self._syscall()
+        meta = self.metadata.get(path)
+        if meta.is_directory:
+            raise IsADirectoryErrorFS(f"is a directory: {path}")
+        if not meta.allows(self.principal.name, Permission.WRITE):
+            raise PermissionDeniedError(f"cannot remove {path}")
+        self.metadata.mark_deleted(meta)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        """Rename a file or directory."""
+        self._syscall()
+        self._check_parent(new_path)
+        old_path, new_path = normalize_path(old_path), normalize_path(new_path)
+        self.metadata.rename(old_path, new_path)
+        # Redirect in-flight background commits so they land on the new path
+        # instead of resurrecting the old one.
+        old_prefix = old_path if old_path.endswith("/") else old_path + "/"
+        new_prefix = new_path if new_path.endswith("/") else new_path + "/"
+        for pending in self._pending_commits:
+            path = pending.metadata.path
+            if path == old_path:
+                pending.metadata.path = new_path
+            elif path.startswith(old_prefix):
+                pending.metadata.path = new_prefix + path[len(old_prefix):]
+
+    def symlink(self, target: str, link_path: str) -> None:
+        """Create a symbolic link to ``target`` at ``link_path``."""
+        self._syscall()
+        self._check_parent(link_path)
+        now = self.sim.now()
+        meta = FileMetadata(path=normalize_path(link_path), file_type=FileType.SYMLINK,
+                            owner=self.principal.name, created_at=now, modified_at=now,
+                            link_target=target)
+        self.metadata.create(meta)
+
+    def readlink(self, path: str) -> str:
+        """Return the target of a symbolic link."""
+        self._syscall()
+        meta = self.metadata.get(path)
+        if meta.file_type is not FileType.SYMLINK:
+            raise FileSystemError(f"not a symlink: {path}")
+        return meta.link_target
+
+    # -------------------------------------------------------------------- ACLs
+
+    def setfacl(self, path: str, username: str, permission: Permission) -> None:
+        """Grant ``permission`` on ``path`` to ``username`` (§2.6).
+
+        Updates, in order: the cloud-side ACLs of the objects storing the file
+        data (so the grantee's *cloud accounts* can fetch them), the metadata
+        tuple's grants, and the entry ACL in the coordination service.  A
+        private file becomes shared and its metadata moves out of the PNS.
+        """
+        self._syscall()
+        meta = self.metadata.get(path)
+        if meta.owner != self.principal.name:
+            raise PermissionDeniedError(f"only the owner may change permissions of {path}")
+        if self.coordination is None:
+            raise PermissionDeniedError("sharing requires a coordination service "
+                                        "(not available in the non-sharing mode)")
+        grantee = self.users.lookup(username)
+        was_private = self.metadata.is_private(meta)
+        if meta.is_file and meta.file_id:
+            self.backend.set_acl(meta.file_id, grantee, permission)
+        meta.grant(username, permission)
+        if was_private and meta.is_shared:
+            self.metadata.promote_to_shared(meta)
+        elif not meta.is_shared and not was_private and self.pns is not None:
+            # The last grant was revoked: the file is private again (§2.7).
+            self.metadata.demote_to_private(meta)
+        else:
+            self.metadata.update(meta)
+        self.metadata.set_entry_grant(meta, username, permission)
+
+    def getfacl(self, path: str) -> dict[str, Permission]:
+        """Return the grants of ``path`` (owner excluded, as in POSIX ACLs)."""
+        self._syscall()
+        meta = self.metadata.get(path)
+        if not meta.allows(self.principal.name, Permission.READ):
+            raise PermissionDeniedError(f"cannot read permissions of {path}")
+        return dict(meta.grants)
+
+    # ------------------------------------------------------------------- misc
+
+    def open_handles(self) -> int:
+        """Number of files currently open."""
+        return len(self._handles)
+
+    def collect_garbage(self) -> object:
+        """Run the garbage collector synchronously (returns its report)."""
+        return self.gc.run()
+
+    def statistics(self) -> AgentStatistics:
+        """Live statistics of this agent."""
+        return self.stats

@@ -1,0 +1,265 @@
+"""The SCFS storage backplane.
+
+SCFS "provides a pluggable backplane that allows it to work with various
+storage clouds or a cloud-of-clouds" (§1).  The agent's storage service talks
+to a :class:`StorageBackend`, of which two implementations exist, matching the
+two backends evaluated in the paper (Figure 5):
+
+* :class:`SingleCloudBackend` — file data stored as one object per version in
+  a single storage cloud (SCFS-AWS, also the substrate of the S3FS/S3QL
+  baselines);
+* :class:`CloudOfCloudsBackend` — file data stored through the DepSky
+  protocols over ``3f+1`` clouds (SCFS-CoC).
+
+Every version of a file is immutable and identified by ``(file_id, digest)`` —
+the pair anchored in the coordination service by the consistency-anchor
+algorithm (Figure 3).
+"""
+
+from __future__ import annotations
+
+import abc
+import contextlib
+from typing import Iterator
+
+from repro.common.errors import ObjectNotFoundError
+from repro.common.types import ObjectRef, Permission, Principal
+from repro.clouds.eventual import EventuallyConsistentStore
+from repro.crypto.hashing import content_digest
+from repro.depsky.protocol import DepSkyClient
+from repro.simenv.environment import Simulation
+
+
+class StorageBackend(abc.ABC):
+    """Versioned, content-addressed storage of whole files in the cloud(s)."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def write_version(self, file_id: str, data: bytes) -> ObjectRef:
+        """Store ``data`` as a new version of ``file_id``; returns its reference."""
+
+    @abc.abstractmethod
+    def read_version(self, file_id: str, digest: str) -> bytes:
+        """Return the version of ``file_id`` whose content hash is ``digest``.
+
+        Raises :class:`~repro.common.errors.ObjectNotFoundError` when the
+        version is not (yet) visible — the caller implements the retry loop of
+        Figure 3 (step r2).
+        """
+
+    @abc.abstractmethod
+    def delete_version(self, file_id: str, digest: str) -> None:
+        """Delete one version (used by the garbage collector)."""
+
+    @abc.abstractmethod
+    def list_versions(self, file_id: str) -> list[ObjectRef]:
+        """List the stored versions of ``file_id``, oldest first."""
+
+    @abc.abstractmethod
+    def set_acl(self, file_id: str, grantee: Principal, permission: Permission) -> None:
+        """Grant cloud-side access to every (current and future) version of ``file_id``."""
+
+    @abc.abstractmethod
+    def destroy(self, file_id: str) -> None:
+        """Remove every version of ``file_id`` from the cloud(s)."""
+
+    @abc.abstractmethod
+    def estimate_write_latency(self, num_bytes: int) -> float:
+        """Expected seconds to push a ``num_bytes`` version to the cloud(s).
+
+        Used by the non-blocking mode to schedule the completion of background
+        uploads on the simulated clock.
+        """
+
+    @abc.abstractmethod
+    def estimate_read_latency(self, num_bytes: int) -> float:
+        """Expected seconds to fetch a ``num_bytes`` version from the cloud(s)."""
+
+    @abc.abstractmethod
+    def stored_bytes(self, file_id: str) -> int:
+        """Total bytes the cloud(s) currently hold for ``file_id`` (cost analysis)."""
+
+    @abc.abstractmethod
+    def storage_overhead(self) -> float:
+        """Ratio of stored bytes to logical bytes for one version (≈1.0 or ≈1.5)."""
+
+    @abc.abstractmethod
+    @contextlib.contextmanager
+    def uncharged(self) -> Iterator[None]:
+        """Context manager suspending latency charging (background uploads)."""
+
+
+class SingleCloudBackend(StorageBackend):
+    """Whole-file versions stored as objects of a single storage cloud (SCFS-AWS)."""
+
+    def __init__(self, sim: Simulation, store: EventuallyConsistentStore, principal: Principal):
+        self.sim = sim
+        self.store = store
+        self.principal = principal
+        self.name = f"single-cloud({store.name})"
+
+    # -- key scheme -----------------------------------------------------------
+
+    @staticmethod
+    def _prefix(file_id: str) -> str:
+        return f"scfs/{file_id}/"
+
+    @classmethod
+    def _key(cls, file_id: str, digest: str) -> str:
+        return f"{cls._prefix(file_id)}{digest}"
+
+    # -- StorageBackend --------------------------------------------------------
+
+    def write_version(self, file_id: str, data: bytes) -> ObjectRef:
+        digest = content_digest(data)
+        self.store.put(self._key(file_id, digest), data, self.principal)
+        return ObjectRef(key=file_id, digest=digest, size=len(data))
+
+    def read_version(self, file_id: str, digest: str) -> bytes:
+        data = self.store.get(self._key(file_id, digest), self.principal)
+        if content_digest(data) != digest:
+            # The provider returned corrupted data for this version; surface it
+            # as "not found" so the caller's retry loop can try again (and
+            # eventually give up) instead of silently accepting bad data.
+            raise ObjectNotFoundError(
+                f"version {digest[:12]}… of {file_id!r} failed its integrity check"
+            )
+        return data
+
+    def delete_version(self, file_id: str, digest: str) -> None:
+        self.store.delete(self._key(file_id, digest), self.principal)
+
+    def list_versions(self, file_id: str) -> list[ObjectRef]:
+        listing = self.store.list_keys(self._prefix(file_id), self.principal)
+        refs = []
+        for key in listing.keys:
+            digest = key.rsplit("/", 1)[1]
+            try:
+                version = self.store.head(key, self.principal)
+            except ObjectNotFoundError:
+                continue
+            refs.append(ObjectRef(key=file_id, digest=digest, size=version.size,
+                                  created_at=version.created_at))
+        return sorted(refs, key=lambda r: (r.created_at, r.digest))
+
+    def set_acl(self, file_id: str, grantee: Principal, permission: Permission) -> None:
+        canonical = grantee.canonical_id(self.store.name)
+        self.store.set_bucket_policy(self._prefix(file_id), canonical, permission, self.principal)
+
+    def destroy(self, file_id: str) -> None:
+        listing = self.store.list_keys(self._prefix(file_id), self.principal)
+        for key in listing.keys:
+            self.store.delete(key, self.principal)
+
+    def estimate_write_latency(self, num_bytes: int) -> float:
+        return self.store.profile.object_put.sample(num_bytes)
+
+    def estimate_read_latency(self, num_bytes: int) -> float:
+        return self.store.profile.object_get.sample(num_bytes)
+
+    def stored_bytes(self, file_id: str) -> int:
+        return self.store.list_keys(self._prefix(file_id), self.principal).total_bytes
+
+    def storage_overhead(self) -> float:
+        return 1.0
+
+    @contextlib.contextmanager
+    def uncharged(self) -> Iterator[None]:
+        previous = self.store.charge_latency
+        self.store.charge_latency = False
+        try:
+            yield
+        finally:
+            self.store.charge_latency = previous
+
+
+class CloudOfCloudsBackend(StorageBackend):
+    """Whole-file versions stored through DepSky over ``3f+1`` clouds (SCFS-CoC)."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        clouds: list[EventuallyConsistentStore],
+        principal: Principal,
+        f: int = 1,
+        encrypt: bool = True,
+    ):
+        self.sim = sim
+        self.principal = principal
+        self.client = DepSkyClient(
+            sim, clouds, principal, f=f, encrypt=encrypt, preferred_quorums=True
+        )
+        self.name = f"cloud-of-clouds(f={f}, n={self.client.n})"
+
+    # -- StorageBackend ----------------------------------------------------------
+
+    def write_version(self, file_id: str, data: bytes) -> ObjectRef:
+        record = self.client.write(file_id, data)
+        return ObjectRef(key=file_id, digest=record.data_digest, size=record.size)
+
+    def read_version(self, file_id: str, digest: str) -> bytes:
+        result = self.client.read_matching(file_id, digest)
+        return result.data
+
+    def delete_version(self, file_id: str, digest: str) -> None:
+        for record in self.client.list_versions(file_id):
+            if record.data_digest == digest:
+                self.client.delete_version(file_id, record.version)
+
+    def list_versions(self, file_id: str) -> list[ObjectRef]:
+        records = sorted(self.client.list_versions(file_id), key=lambda r: r.version)
+        return [ObjectRef(key=file_id, digest=r.data_digest, size=r.size,
+                          created_at=r.created_at) for r in records]
+
+    def set_acl(self, file_id: str, grantee: Principal, permission: Permission) -> None:
+        self.client.set_acl(file_id, grantee, permission)
+
+    def destroy(self, file_id: str) -> None:
+        self.client.destroy_unit(file_id)
+
+    def estimate_write_latency(self, num_bytes: int) -> float:
+        client = self.client
+        block_bytes = client.coder.block_size(num_bytes + 64)
+        quorum = client.n - client.f
+        meta_reads = sorted(
+            c.profile.object_get.sample(512, self.sim.rng) for c in client.clouds
+        )
+        block_puts = sorted(
+            c.profile.object_put.sample(block_bytes, self.sim.rng)
+            for c in client.clouds[:quorum]
+        )
+        meta_puts = sorted(
+            c.profile.object_put.sample(1024, self.sim.rng) for c in client.clouds
+        )
+        return (
+            meta_reads[min(client.k, len(meta_reads)) - 1]
+            + block_puts[min(quorum, len(block_puts)) - 1]
+            + meta_puts[min(quorum, len(meta_puts)) - 1]
+        )
+
+    def estimate_read_latency(self, num_bytes: int) -> float:
+        client = self.client
+        block_bytes = client.coder.block_size(num_bytes + 64)
+        meta_reads = sorted(
+            c.profile.object_get.sample(1024, self.sim.rng) for c in client.clouds
+        )
+        block_reads = sorted(
+            c.profile.object_get.sample(block_bytes, self.sim.rng) for c in client.clouds
+        )
+        return meta_reads[client.k - 1] + block_reads[client.k - 1]
+
+    def stored_bytes(self, file_id: str) -> int:
+        return self.client.stored_bytes(file_id)
+
+    def storage_overhead(self) -> float:
+        return self.client.coder.storage_overhead()
+
+    @contextlib.contextmanager
+    def uncharged(self) -> Iterator[None]:
+        previous = self.client.charge_latency
+        self.client.charge_latency = False
+        try:
+            yield
+        finally:
+            self.client.charge_latency = previous

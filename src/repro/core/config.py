@@ -1,0 +1,130 @@
+"""Configuration of an SCFS agent/deployment.
+
+Defaults follow the values used in the paper's evaluation (§4.1): 500 ms
+metadata cache expiration, no private name spaces (worst case, 100 % sharing),
+f = 1 for the CoC backend, memory cache of hundreds of MBs and a disk cache of
+GBs, and a garbage collector keeping the last versions of each file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB, MB
+from repro.core.modes import BackendKind, OperationMode
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Sizes and policies of the SCFS Agent's local caches (§2.5.1)."""
+
+    #: Main-memory LRU cache for open files ("hundreds of MBs").
+    memory_bytes: int = 256 * MB
+    #: Local-disk LRU file cache ("GBs of space", long-term).
+    disk_bytes: int = 16 * GB
+    #: Expiration of the short-lived metadata cache in seconds (paper: 500 ms).
+    metadata_expiration: float = 0.5
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical sizes."""
+        if self.memory_bytes < 0 or self.disk_bytes < 0:
+            raise ConfigurationError("cache sizes must be non-negative")
+        if self.metadata_expiration < 0:
+            raise ConfigurationError("metadata cache expiration must be non-negative")
+
+
+@dataclass(frozen=True)
+class GarbageCollectionPolicy:
+    """Parameters of the per-agent garbage collector (§2.5.3).
+
+    ``written_bytes_threshold`` (W) — the collector is activated every time the
+    agent writes more than W bytes; ``versions_to_keep`` (V) — number of most
+    recent versions preserved per file.
+    """
+
+    written_bytes_threshold: int = 128 * MB
+    versions_to_keep: int = 3
+    #: Also purge files the user deleted (their versions and metadata entries).
+    purge_deleted_files: bool = True
+    #: Refined policy (§2.5.3): additionally keep the newest version of each
+    #: ``keep_interval_seconds`` bucket (e.g. 86400 for one version per day).
+    #: ``None`` disables the age-based retention.
+    keep_interval_seconds: float | None = None
+    #: Disable automatic activation entirely (collection only via explicit call).
+    enabled: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical parameters."""
+        if self.versions_to_keep < 1:
+            raise ConfigurationError("garbage collector must keep at least one version")
+        if self.written_bytes_threshold <= 0:
+            raise ConfigurationError("written-bytes threshold must be positive")
+        if self.keep_interval_seconds is not None and self.keep_interval_seconds <= 0:
+            raise ConfigurationError("the version-retention interval must be positive")
+
+
+@dataclass(frozen=True)
+class SCFSConfig:
+    """Full configuration of one SCFS agent."""
+
+    mode: OperationMode = OperationMode.BLOCKING
+    backend: BackendKind = BackendKind.COC
+    #: Number of faulty providers/replicas tolerated by the CoC backend.
+    fault_tolerance: int = 1
+    #: Which coordination service to use ("depspace" or "zookeeper").
+    coordination_kind: str = "depspace"
+    #: Number of independent coordination services the namespace is partitioned
+    #: over (the §5 scalability extension; 1 = the paper's base design).
+    coordination_partitions: int = 1
+    #: Enable Private Name Spaces for files not shared with other users (§2.7).
+    private_name_spaces: bool = False
+    #: Encrypt file data before it leaves the client (always on for CoC in the paper).
+    encrypt_data: bool = True
+    caches: CacheConfig = field(default_factory=CacheConfig)
+    gc: GarbageCollectionPolicy = field(default_factory=GarbageCollectionPolicy)
+    #: Lease of coordination-service sessions/locks in seconds.
+    lock_lease: float = 30.0
+    #: Interval between retries of the consistency-anchor read loop (Figure 3, r2).
+    read_retry_interval: float = 0.5
+    #: Maximum retries of the read loop before giving up (bounds simulations).
+    read_retry_limit: int = 240
+
+    def validate(self) -> None:
+        """Check cross-field consistency; raise :class:`ConfigurationError` otherwise."""
+        self.caches.validate()
+        self.gc.validate()
+        if self.fault_tolerance < 0:
+            raise ConfigurationError("fault tolerance must be non-negative")
+        if self.coordination_kind not in ("depspace", "zookeeper"):
+            raise ConfigurationError(f"unknown coordination service {self.coordination_kind!r}")
+        if self.coordination_partitions < 1:
+            raise ConfigurationError("at least one coordination partition is required")
+        if self.mode is OperationMode.NON_SHARING and not self.private_name_spaces:
+            # The non-sharing mode stores *all* metadata in the PNS by definition.
+            raise ConfigurationError("the non-sharing mode requires private name spaces")
+        if self.read_retry_interval <= 0:
+            raise ConfigurationError("read retry interval must be positive")
+
+    def with_mode(self, mode: OperationMode) -> "SCFSConfig":
+        """Return a copy with a different operation mode (PNS forced on for NS)."""
+        pns = self.private_name_spaces or mode is OperationMode.NON_SHARING
+        return replace(self, mode=mode, private_name_spaces=pns)
+
+    @staticmethod
+    def for_variant(name: str, **overrides) -> "SCFSConfig":
+        """Build the configuration of one of the Table 2 variants by name."""
+        from repro.core.modes import variant  # local import avoids a cycle at module load
+
+        spec = variant(name)
+        pns = spec.mode is OperationMode.NON_SHARING or overrides.pop("private_name_spaces", False)
+        config = SCFSConfig(
+            mode=spec.mode,
+            backend=spec.backend,
+            fault_tolerance=1 if spec.backend is BackendKind.COC else 0,
+            encrypt_data=spec.backend is BackendKind.COC,
+            private_name_spaces=pns,
+            **overrides,
+        )
+        config.validate()
+        return config

@@ -1,0 +1,138 @@
+"""The consistency-anchor algorithm (Figure 3), decoupled from the file system.
+
+The technique composes two storage systems: a small *consistency anchor* (CA)
+offering the desired consistency (e.g. linearizability) and a large *storage
+service* (SS) that may only be eventually consistent.  The composition
+satisfies the CA's consistency even though the bulk data lives in the SS:
+
+``WRITE(id, v)``
+    w1. ``h ← Hash(v)``
+    w2. ``SS.write(id|h, v)``
+    w3. ``CA.write(id, h)``
+
+``READ(id)``
+    r1. ``h ← CA.read(id)``
+    r2. ``do v ← SS.read(id|h) while v = null``
+    r3. ``return (Hash(v) = h) ? v : null``
+
+In SCFS the CA is the coordination service (the metadata tuple holds the hash)
+and the SS is the cloud backend; the agent implements the same steps inline in
+its open/close paths.  This module provides the algorithm in its generic form
+— as presented in §2.4 — so that it can be unit- and property-tested in
+isolation and reused outside the file system.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.common.errors import ObjectNotFoundError, QuorumNotReachedError
+from repro.common.types import ObjectRef
+from repro.core.backend import StorageBackend
+from repro.crypto.hashing import content_digest
+from repro.simenv.environment import Simulation
+
+
+class ConsistencyAnchor(abc.ABC):
+    """A small storage system with strong consistency, mapping ids to hashes."""
+
+    @abc.abstractmethod
+    def write_hash(self, object_id: str, digest: str) -> None:
+        """Store the current hash of ``object_id`` (step w3)."""
+
+    @abc.abstractmethod
+    def read_hash(self, object_id: str) -> str | None:
+        """Return the current hash of ``object_id`` (step r1), or None."""
+
+
+@dataclass
+class DictConsistencyAnchor(ConsistencyAnchor):
+    """A trivially linearizable in-memory anchor (used by tests and examples)."""
+
+    hashes: dict[str, str] = field(default_factory=dict)
+
+    def write_hash(self, object_id: str, digest: str) -> None:
+        self.hashes[object_id] = digest
+
+    def read_hash(self, object_id: str) -> str | None:
+        return self.hashes.get(object_id)
+
+
+class CoordinationConsistencyAnchor(ConsistencyAnchor):
+    """An anchor storing hashes as entries of a coordination service."""
+
+    def __init__(self, service, session, prefix: str = "anchor/"):
+        self.service = service
+        self.session = session
+        self.prefix = prefix
+
+    def write_hash(self, object_id: str, digest: str) -> None:
+        self.service.put(self.prefix + object_id, digest.encode(), self.session)
+
+    def read_hash(self, object_id: str) -> str | None:
+        from repro.common.errors import TupleNotFoundError
+
+        try:
+            return self.service.get(self.prefix + object_id, self.session).value.decode()
+        except TupleNotFoundError:
+            return None
+
+
+class AnchoredStorage:
+    """Strongly consistent object storage built from a CA and a weak SS.
+
+    Parameters
+    ----------
+    sim:
+        Simulation environment; the read loop waits ``retry_interval`` between
+        attempts by advancing the simulated clock.
+    anchor:
+        The consistency anchor (strongly consistent, small capacity).
+    backend:
+        The storage service holding the data (possibly eventually consistent).
+    retry_interval / retry_limit:
+        Backoff policy of the ``do … while`` read loop (step r2).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        anchor: ConsistencyAnchor,
+        backend: StorageBackend,
+        retry_interval: float = 0.5,
+        retry_limit: int = 240,
+    ):
+        self.sim = sim
+        self.anchor = anchor
+        self.backend = backend
+        self.retry_interval = retry_interval
+        self.retry_limit = retry_limit
+
+    def write(self, object_id: str, data: bytes) -> ObjectRef:
+        """WRITE(id, v): push the data to the SS, then anchor its hash in the CA."""
+        digest = content_digest(data)                      # w1
+        ref = self.backend.write_version(object_id, data)  # w2
+        if ref.digest != digest:
+            raise AssertionError("backend returned a reference with a different digest")
+        self.anchor.write_hash(object_id, digest)          # w3
+        return ref
+
+    def read(self, object_id: str) -> bytes | None:
+        """READ(id): fetch the anchored hash, then poll the SS until it appears."""
+        digest = self.anchor.read_hash(object_id)          # r1
+        if digest is None:
+            return None
+        attempts = 0
+        while True:                                        # r2
+            try:
+                data = self.backend.read_version(object_id, digest)
+                break
+            except (ObjectNotFoundError, QuorumNotReachedError):
+                # Not visible yet (eventual consistency) or not enough clouds
+                # hold the blocks yet — keep polling, as the algorithm requires.
+                attempts += 1
+                if attempts > self.retry_limit:
+                    return None
+                self.sim.advance(self.retry_interval)
+        return data if content_digest(data) == digest else None   # r3

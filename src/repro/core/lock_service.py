@@ -1,0 +1,86 @@
+"""The SCFS Agent's lock service (§2.5.1).
+
+Locks avoid write-write conflicts: a file opened for writing is locked in the
+coordination service, and the lock is released when the file's updates have
+reached the cloud (on ``close`` in the blocking mode, after the background
+upload completes in the non-blocking mode).  Opening a file for reading never
+locks it — read-write conflicts are handled by the consistency anchor instead.
+
+Lock entries are ephemeral: if a client crashes while holding a lock, the
+lease expires and the file unlocks automatically.  In the non-sharing mode
+there is no coordination service and therefore no locking (a single user by
+definition cannot conflict with itself across agents sharing nothing).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import LockHeldError
+from repro.coordination.base import CoordinationService, Session
+from repro.coordination.locks import LockManager
+from repro.core.metadata import FileMetadata
+from repro.simenv.environment import Simulation
+
+
+class LockService:
+    """Per-agent façade over the coordination service's lock recipe."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        coordination: CoordinationService | None,
+        session: Session | None,
+        retry_interval: float = 0.2,
+        max_retries: int = 0,
+    ):
+        self.sim = sim
+        self.coordination = coordination
+        self._manager: LockManager | None = None
+        if coordination is not None and session is not None:
+            self._manager = LockManager(
+                sim=sim,
+                service=coordination,
+                session=session,
+                retry_interval=retry_interval,
+                max_retries=max_retries,
+            )
+
+    @staticmethod
+    def lock_name(metadata: FileMetadata) -> str:
+        """Name of the lock protecting one file (keyed by its storage id)."""
+        return f"filelock:{metadata.file_id or metadata.path}"
+
+    @property
+    def enabled(self) -> bool:
+        """False in the non-sharing mode (no coordination service)."""
+        return self._manager is not None
+
+    def acquire(self, metadata: FileMetadata) -> bool:
+        """Lock ``metadata`` for writing; raises :class:`LockHeldError` on conflict.
+
+        Returns False (without contacting the coordination service) when
+        locking is disabled, so callers need no special-casing of the
+        non-sharing mode.
+        """
+        if self._manager is None:
+            return False
+        name = self.lock_name(metadata)
+        if not self._manager.try_acquire(name):
+            raise LockHeldError(f"{metadata.path} is locked for writing by another client")
+        return True
+
+    def release(self, metadata: FileMetadata) -> None:
+        """Release the write lock on ``metadata`` (no-op when not held)."""
+        if self._manager is None:
+            return
+        name = self.lock_name(metadata)
+        if self._manager.holds(name):
+            self._manager.release(name)
+
+    def release_all(self) -> None:
+        """Release every lock held by this agent (unmount path)."""
+        if self._manager is not None:
+            self._manager.release_all()
+
+    def holds(self, metadata: FileMetadata) -> bool:
+        """True if this agent currently holds the write lock of ``metadata``."""
+        return self._manager is not None and self._manager.holds(self.lock_name(metadata))

@@ -1,0 +1,327 @@
+"""The SCFS Agent's metadata service (§2.5.1).
+
+The metadata service mediates every access to file-system metadata.  It
+combines three sources, in order:
+
+1. the short-lived **metadata cache**, which absorbs the bursts of ``stat``
+   style calls a single application action generates;
+2. the user's **Private Name Space**, which holds the metadata of non-shared
+   files locally (no coordination access at all);
+3. the **coordination service**, holding one entry per *shared* file system
+   object, protected by per-entry ACLs.
+
+Every metadata tuple carries the ``(file_id, digest)`` pair of the current
+data version, making the coordination service the consistency anchor of the
+file data (§2.4).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import (
+    ConflictError,
+    FileExistsErrorFS,
+    FileNotFoundErrorFS,
+    PermissionDeniedError,
+    TupleNotFoundError,
+)
+from repro.common.types import Permission, Principal
+from repro.coordination.base import CoordinationService, Session
+from repro.core.cache import MetadataCache
+from repro.core.metadata import FileMetadata, FileType, normalize_path, parent_path
+from repro.core.pns import PrivateNameSpace
+from repro.simenv.environment import Simulation
+
+#: Prefix of file-system metadata entries in the coordination service.
+META_PREFIX = "meta:"
+
+
+class MetadataService:
+    """Metadata lookups/updates with caching and PNS integration."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        principal: Principal,
+        cache: MetadataCache,
+        coordination: CoordinationService | None = None,
+        session: Session | None = None,
+        pns: PrivateNameSpace | None = None,
+    ):
+        if coordination is None and pns is None:
+            raise ValueError("a metadata service needs a coordination service, a PNS, or both")
+        self.sim = sim
+        self.principal = principal
+        self.cache = cache
+        self.coordination = coordination
+        self.session = session
+        self.pns = pns
+        #: Statistics used by tests and benchmark reports.
+        self.coordination_reads = 0
+        self.coordination_writes = 0
+
+    # ------------------------------------------------------------------ keys
+
+    @staticmethod
+    def entry_key(path: str) -> str:
+        """Coordination-service key of the metadata entry for ``path``."""
+        return META_PREFIX + normalize_path(path)
+
+    # ----------------------------------------------------------------- lookup
+
+    def lookup(self, path: str, use_cache: bool = True) -> FileMetadata | None:
+        """Return the metadata of ``path`` or None when it does not exist.
+
+        The root directory always exists (it has an implicit entry owned by
+        the mounting user).
+        """
+        path = normalize_path(path)
+        if path == "/":
+            return FileMetadata(path="/", file_type=FileType.DIRECTORY,
+                                owner=self.principal.name)
+        if use_cache:
+            cached = self.cache.get(path)
+            if cached is not None:
+                return cached.copy()
+        if self.pns is not None and self.pns.contains(path):
+            meta = self.pns.get(path)
+            if meta is not None:
+                self.cache.put(path, meta.copy())
+            return meta
+        if self.pns is not None and self._under_private_directory(path):
+            # Children of a private directory are private by construction, so a
+            # miss in the PNS means the object does not exist — no need to ask
+            # the coordination service (§2.7).
+            return None
+        if self.coordination is None:
+            return None
+        try:
+            entry = self.coordination.get(self.entry_key(path), self.session)
+            self.coordination_reads += 1
+        except TupleNotFoundError:
+            self.coordination_reads += 1
+            return None
+        except ConflictError as exc:
+            # The entry exists but its ACL does not allow this principal to
+            # read it: surface the POSIX-flavoured error (EACCES).
+            self.coordination_reads += 1
+            raise PermissionDeniedError(str(exc)) from exc
+        meta = FileMetadata.from_bytes(entry.value)
+        self.cache.put(path, meta.copy())
+        return meta
+
+    def _under_private_directory(self, path: str) -> bool:
+        """True when the nearest existing ancestor of ``path`` is in the PNS."""
+        if self.pns is None:
+            return False
+        parent = parent_path(path)
+        return parent != path and self.pns.contains(parent)
+
+    def get(self, path: str, use_cache: bool = True) -> FileMetadata:
+        """Like :meth:`lookup` but raises ``FileNotFoundErrorFS`` when absent."""
+        meta = self.lookup(path, use_cache=use_cache)
+        if meta is None or meta.deleted:
+            raise FileNotFoundErrorFS(f"no such file or directory: {path}")
+        return meta
+
+    def exists(self, path: str) -> bool:
+        """True when ``path`` exists and is not marked deleted."""
+        meta = self.lookup(path)
+        return meta is not None and not meta.deleted
+
+    # ----------------------------------------------------------------- update
+
+    def _store(self, metadata: FileMetadata, private: bool) -> None:
+        if private:
+            if self.pns is None:
+                raise PermissionDeniedError("private name spaces are disabled")
+            self.pns.put(metadata)
+        else:
+            if self.coordination is None:
+                raise PermissionDeniedError(
+                    "this agent has no coordination service; only private files are supported"
+                )
+            self.coordination.put(self.entry_key(metadata.path), metadata.to_bytes(), self.session)
+            self.coordination_writes += 1
+        self.cache.put(metadata.path, metadata.copy())
+
+    def is_private(self, metadata: FileMetadata) -> bool:
+        """True when the object's metadata lives in the PNS rather than the anchor."""
+        if self.pns is None:
+            return False
+        if self.pns.contains(metadata.path):
+            return True
+        return False
+
+    def create(self, metadata: FileMetadata, shared: bool = False) -> FileMetadata:
+        """Create a new metadata entry.
+
+        ``shared`` forces the entry into the coordination service even when a
+        PNS is available; otherwise new objects start private whenever PNSs
+        are enabled (they have no grants yet, §2.7).
+        """
+        path = metadata.path
+        private = self.pns is not None and not shared and not metadata.grants
+        if self.coordination is None:
+            private = True
+        if private:
+            # Private files live in the user's own name space: the existence
+            # check does not need to consult the coordination service (§2.7).
+            existing = self.pns.get(path) if self.pns is not None else None
+        else:
+            existing = self.lookup(path, use_cache=False)
+        if existing is not None and not existing.deleted:
+            raise FileExistsErrorFS(f"file exists: {path}")
+        self._store(metadata, private)
+        return metadata
+
+    def update(self, metadata: FileMetadata) -> None:
+        """Persist an updated metadata tuple (same placement as it currently has)."""
+        if not metadata.allows(self.principal.name, Permission.WRITE):
+            raise PermissionDeniedError(
+                f"{self.principal.name} may not modify metadata of {metadata.path}"
+            )
+        self._store(metadata, private=self.is_private(metadata))
+
+    def remove(self, path: str) -> None:
+        """Erase a metadata entry (used by rmdir, rename and the garbage collector)."""
+        path = normalize_path(path)
+        if self.pns is not None and self.pns.contains(path):
+            self.pns.remove(path)
+        elif self.coordination is not None:
+            self.coordination.delete(self.entry_key(path), self.session)
+            self.coordination_writes += 1
+        self.cache.invalidate(path)
+
+    def mark_deleted(self, metadata: FileMetadata) -> None:
+        """Mark a file as deleted without erasing it (recoverable until GC runs)."""
+        metadata.deleted = True
+        self._store(metadata, private=self.is_private(metadata))
+
+    # ------------------------------------------------------------- directories
+
+    def list_children(self, directory: str) -> list[FileMetadata]:
+        """Metadata of every live child of ``directory`` (shared and private)."""
+        directory = normalize_path(directory)
+        children: dict[str, FileMetadata] = {}
+        if self.coordination is not None:
+            prefix = self.entry_key(directory if directory.endswith("/") else directory + "/")
+            for key in self.coordination.list_prefix(prefix, self.session):
+                path = key[len(META_PREFIX):]
+                if parent_path(path) != directory:
+                    continue
+                meta = self.lookup(path)
+                if meta is not None and not meta.deleted:
+                    children[path] = meta
+            self.coordination_reads += 1
+        if self.pns is not None:
+            for meta in self.pns.children_of(directory):
+                if not meta.deleted:
+                    children.setdefault(meta.path, meta)
+        return [children[p] for p in sorted(children)]
+
+    # ------------------------------------------------------------------ rename
+
+    def rename(self, old_path: str, new_path: str) -> FileMetadata:
+        """Move a metadata entry (and, for directories, all its descendants)."""
+        old_path, new_path = normalize_path(old_path), normalize_path(new_path)
+        meta = self.get(old_path)
+        if not meta.allows(self.principal.name, Permission.WRITE):
+            raise PermissionDeniedError(f"{self.principal.name} may not rename {old_path}")
+        if self.exists(new_path):
+            raise FileExistsErrorFS(f"file exists: {new_path}")
+        renamed = meta.renamed(new_path)
+        private = self.is_private(meta)
+        # Move descendants first (directories only).
+        if meta.is_directory:
+            self._rename_descendants(old_path, new_path)
+        self.remove(old_path)
+        self._store(renamed, private)
+        return renamed
+
+    def _rename_descendants(self, old_dir: str, new_dir: str) -> None:
+        old_prefix = old_dir if old_dir.endswith("/") else old_dir + "/"
+        new_prefix = new_dir if new_dir.endswith("/") else new_dir + "/"
+        if self.pns is not None:
+            for path in [p for p in self.pns.paths() if p.startswith(old_prefix)]:
+                meta = self.pns.remove(path)
+                if meta is not None:
+                    self.pns.put(meta.renamed(new_prefix + path[len(old_prefix):]))
+                self.cache.invalidate(path)
+        if self.coordination is None:
+            return
+        # DepSpace exposes the rename trigger (one round trip); other services
+        # fall back to a read-rewrite loop.
+        rename_trigger = getattr(self.coordination, "rename_prefix", None)
+        keys = self.coordination.list_prefix(self.entry_key(old_prefix), self.session)
+        self.coordination_reads += 1
+        if not keys:
+            return
+        if rename_trigger is not None:
+            # The trigger rewrites the key embedded in each tuple; here keys are
+            # separate from values, so we still rewrite entries client-side but
+            # in a single batch whose latency matches one coordination access.
+            for key in keys:
+                old_entry_path = key[len(META_PREFIX):]
+                entry_meta = self.get(old_entry_path, use_cache=False)
+                moved = entry_meta.renamed(new_prefix + old_entry_path[len(old_prefix):])
+                self.coordination.delete(key, self.session)
+                self.coordination.put(self.entry_key(moved.path), moved.to_bytes(), self.session)
+                self.cache.invalidate(old_entry_path)
+            self.coordination_writes += 1
+        else:
+            for key in keys:
+                old_entry_path = key[len(META_PREFIX):]
+                entry_meta = self.get(old_entry_path, use_cache=False)
+                moved = entry_meta.renamed(new_prefix + old_entry_path[len(old_prefix):])
+                self.coordination.delete(key, self.session)
+                self.coordination.put(self.entry_key(moved.path), moved.to_bytes(), self.session)
+                self.coordination_writes += 2
+                self.cache.invalidate(old_entry_path)
+
+    # --------------------------------------------------------------------- ACLs
+
+    def promote_to_shared(self, metadata: FileMetadata) -> None:
+        """Move a private file's metadata from the PNS to the coordination service.
+
+        Called when permissions change on a private file (§2.7): the metadata
+        is removed from the PNS and a dedicated tuple is created.
+        """
+        if self.coordination is None:
+            raise PermissionDeniedError("cannot share files without a coordination service")
+        if self.pns is not None and self.pns.contains(metadata.path):
+            self.pns.remove(metadata.path)
+        self._store(metadata, private=False)
+
+    def demote_to_private(self, metadata: FileMetadata) -> None:
+        """Move a no-longer-shared file's metadata back into the PNS."""
+        if self.pns is None:
+            return
+        if self.coordination is not None:
+            self.coordination.delete(self.entry_key(metadata.path), self.session)
+            self.coordination_writes += 1
+        self.pns.put(metadata)
+        self.cache.put(metadata.path, metadata.copy())
+
+    def set_entry_grant(self, metadata: FileMetadata, user: str, permission: Permission) -> None:
+        """Reflect a grant change on the coordination-service entry ACL (§2.6)."""
+        if self.coordination is None or self.is_private(metadata):
+            return
+        self.coordination.set_entry_acl(self.entry_key(metadata.path), user, permission,
+                                        self.session)
+        self.coordination_writes += 1
+
+    # ----------------------------------------------------------------- listing
+
+    def owned_paths(self) -> list[str]:
+        """Paths of every object owned by this principal (garbage collection)."""
+        paths: set[str] = set()
+        if self.pns is not None:
+            paths.update(self.pns.paths())
+        if self.coordination is not None:
+            for key in self.coordination.list_prefix(META_PREFIX, self.session):
+                path = key[len(META_PREFIX):]
+                meta = self.lookup(path)
+                if meta is not None and meta.owner == self.principal.name:
+                    paths.add(path)
+            self.coordination_reads += 1
+        return sorted(paths)

@@ -1,0 +1,86 @@
+"""SCFS modes of operation and the Table 2 variant catalogue.
+
+§3.1 defines three modes of operation:
+
+* **blocking** — ``close`` returns only after the file data reached the
+  cloud(s) and the metadata was updated in the coordination service
+  (consistency-on-close with maximum durability);
+* **non-blocking** — ``close`` returns once the data is safely on the local
+  disk and queued for upload; the metadata update and the lock release happen
+  in the background *after* the upload completes, preserving mutual exclusion;
+* **non-sharing** — no coordination service at all: every file lives in the
+  user's Private Name Space, similar to S3QL but optionally on a
+  cloud-of-clouds backend.
+
+Crossing the three modes with the two backends of §3.2 (AWS: single cloud +
+one DepSpace instance; CoC: DepSky over four clouds + replicated DepSpace)
+yields the six variants evaluated in the paper (Table 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OperationMode(enum.Enum):
+    """The three SCFS modes of operation (§3.1)."""
+
+    BLOCKING = "blocking"
+    NON_BLOCKING = "non-blocking"
+    NON_SHARING = "non-sharing"
+
+    @property
+    def uses_coordination(self) -> bool:
+        """The non-sharing mode does not use the coordination service at all."""
+        return self is not OperationMode.NON_SHARING
+
+    @property
+    def blocks_on_close(self) -> bool:
+        """Only the blocking mode waits for the cloud upload inside ``close``."""
+        return self is OperationMode.BLOCKING
+
+
+class BackendKind(enum.Enum):
+    """Storage/coordination backends evaluated in the paper (§3.2, Figure 5)."""
+
+    #: Amazon Web Services: file data in S3, one DepSpace instance in EC2.
+    AWS = "aws"
+    #: Cloud-of-clouds: DepSky over four storage clouds, DepSpace replicated
+    #: over four compute clouds (f = 1).
+    COC = "coc"
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One cell of Table 2: a named (mode, backend) combination."""
+
+    name: str
+    mode: OperationMode
+    backend: BackendKind
+
+    @property
+    def label(self) -> str:
+        """Short label used in benchmark tables (e.g. ``CoC-NB``)."""
+        suffix = {"blocking": "B", "non-blocking": "NB", "non-sharing": "NS"}[self.mode.value]
+        prefix = "AWS" if self.backend is BackendKind.AWS else "CoC"
+        return f"{prefix}-{suffix}"
+
+
+#: The six SCFS variants of Table 2, keyed by their paper names.
+VARIANTS: dict[str, VariantSpec] = {
+    "SCFS-AWS-B": VariantSpec("SCFS-AWS-B", OperationMode.BLOCKING, BackendKind.AWS),
+    "SCFS-AWS-NB": VariantSpec("SCFS-AWS-NB", OperationMode.NON_BLOCKING, BackendKind.AWS),
+    "SCFS-AWS-NS": VariantSpec("SCFS-AWS-NS", OperationMode.NON_SHARING, BackendKind.AWS),
+    "SCFS-CoC-B": VariantSpec("SCFS-CoC-B", OperationMode.BLOCKING, BackendKind.COC),
+    "SCFS-CoC-NB": VariantSpec("SCFS-CoC-NB", OperationMode.NON_BLOCKING, BackendKind.COC),
+    "SCFS-CoC-NS": VariantSpec("SCFS-CoC-NS", OperationMode.NON_SHARING, BackendKind.COC),
+}
+
+
+def variant(name: str) -> VariantSpec:
+    """Look up a Table 2 variant by name (case-insensitive, dashes required)."""
+    for key, spec in VARIANTS.items():
+        if key.lower() == name.lower():
+            return spec
+    raise KeyError(f"unknown SCFS variant {name!r}; known variants: {sorted(VARIANTS)}")

@@ -1,0 +1,93 @@
+"""Authenticated symmetric encryption of file data.
+
+Before a file leaves the client, DepSky encrypts it with a fresh random key
+(Figure 6, steps 1–2).  The execution environment offers no AES
+implementation, so we build an authenticated stream cipher from primitives in
+the standard library:
+
+* a keystream derived from SHA-256 in counter mode (key ‖ nonce ‖ counter);
+* an HMAC-SHA256 tag over nonce ‖ ciphertext (encrypt-then-MAC).
+
+This is sufficient for the reproduction's goals (confidentiality from any
+single cloud, integrity verification on read) while remaining dependency-free
+and deterministic under a seeded RNG.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import numpy as np
+
+from repro.crypto.hashing import hmac_digest, verify_hmac
+
+KEY_SIZE = 32
+NONCE_SIZE = 16
+TAG_SIZE = 32
+
+
+def generate_key(rng: random.Random | None = None) -> bytes:
+    """Generate a fresh :data:`KEY_SIZE`-byte symmetric key.
+
+    When ``rng`` is provided (e.g. the simulation RNG) the key is derived from
+    it deterministically, which keeps whole-simulation runs reproducible;
+    otherwise ``random.SystemRandom`` is used.
+    """
+    rng = rng or random.SystemRandom()
+    return bytes(rng.randrange(256) for _ in range(KEY_SIZE))
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Derive a ``length``-byte keystream from key ‖ nonce with SHAKE-256."""
+    return hashlib.shake_256(key + nonce).digest(length)
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    """XOR two equal-length byte strings (vectorised for large payloads)."""
+    if len(data) < 1024:
+        return bytes(d ^ s for d, s in zip(data, stream))
+    a = np.frombuffer(data, dtype=np.uint8)
+    b = np.frombuffer(stream, dtype=np.uint8)
+    return (a ^ b).tobytes()
+
+
+class SymmetricCipher:
+    """Authenticated encryption with a single symmetric key."""
+
+    def __init__(self, key: bytes):
+        if len(key) != KEY_SIZE:
+            raise ValueError(f"key must be {KEY_SIZE} bytes, got {len(key)}")
+        self._key = key
+        # Separate keys for encryption and authentication, derived from the master.
+        self._enc_key = hashlib.sha256(b"enc" + key).digest()
+        self._mac_key = hashlib.sha256(b"mac" + key).digest()
+
+    def encrypt(self, plaintext: bytes, rng: random.Random | None = None) -> bytes:
+        """Encrypt and authenticate ``plaintext``; returns nonce ‖ ciphertext ‖ tag."""
+        rng = rng or random.SystemRandom()
+        nonce = bytes(rng.randrange(256) for _ in range(NONCE_SIZE))
+        stream = _keystream(self._enc_key, nonce, len(plaintext))
+        ciphertext = _xor(plaintext, stream)
+        tag = hmac_digest(self._mac_key, nonce + ciphertext)
+        return nonce + ciphertext + tag
+
+    def decrypt(self, blob: bytes) -> bytes:
+        """Verify and decrypt a blob produced by :meth:`encrypt`.
+
+        Raises ``ValueError`` when the authentication tag does not match
+        (tampered or truncated data).
+        """
+        if len(blob) < NONCE_SIZE + TAG_SIZE:
+            raise ValueError("ciphertext too short")
+        nonce = blob[:NONCE_SIZE]
+        ciphertext = blob[NONCE_SIZE:-TAG_SIZE]
+        tag = blob[-TAG_SIZE:]
+        if not verify_hmac(self._mac_key, nonce + ciphertext, tag):
+            raise ValueError("authentication tag mismatch (data tampered or wrong key)")
+        stream = _keystream(self._enc_key, nonce, len(ciphertext))
+        return _xor(ciphertext, stream)
+
+    def overhead(self) -> int:
+        """Number of bytes the ciphertext adds over the plaintext."""
+        return NONCE_SIZE + TAG_SIZE

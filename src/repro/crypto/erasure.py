@@ -1,0 +1,113 @@
+"""Systematic Reed–Solomon erasure coding over GF(2^8).
+
+DepSky (Figure 6, step 3) erasure-codes the encrypted file so that each of the
+``n = 3f+1`` clouds stores a block of roughly ``1/k`` of the file size, with
+``k = f+1`` blocks sufficient to rebuild it.  For the default ``f = 1`` this
+yields the ~50 % storage overhead the paper reports in Figure 11(c): two
+clouds store half the file each and a third stores one extra coded block (the
+fourth cloud is not used for data when *preferred quorums* are enabled).
+
+The implementation uses a systematic encoding matrix: the first ``k`` output
+blocks are the plain data blocks and the remaining ``n - k`` are parity.
+Decoding from any ``k`` available blocks inverts the corresponding rows.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto import gf256
+
+#: Header prepended to the padded payload so that decode can recover the
+#: original length:  magic (2 bytes) + original length (8 bytes).
+_HEADER = struct.Struct(">HQ")
+_MAGIC = 0x5343  # "SC"
+
+
+@dataclass(frozen=True)
+class CodedBlock:
+    """One erasure-coded block: its row ``index`` in the code and the payload."""
+
+    index: int
+    payload: bytes
+
+
+class ErasureCoder:
+    """Systematic ``(n, k)`` Reed–Solomon coder.
+
+    Parameters
+    ----------
+    n:
+        Total number of blocks produced (one per cloud).
+    k:
+        Number of blocks required to reconstruct the data.
+    """
+
+    def __init__(self, n: int, k: int):
+        if not 1 <= k <= n:
+            raise ValueError(f"invalid erasure-code parameters n={n}, k={k}")
+        if n > 255:
+            raise ValueError("GF(256) Reed-Solomon supports at most 255 blocks")
+        self.n = n
+        self.k = k
+        self._matrix = self._systematic_matrix(n, k)
+
+    @staticmethod
+    def _systematic_matrix(n: int, k: int) -> np.ndarray:
+        vander = gf256.vandermonde(n, k)
+        top_inv = gf256.invert_matrix(vander[:k, :k])
+        return gf256.matmul_matrix(vander, top_inv)
+
+    # ------------------------------------------------------------------ API
+
+    def encode(self, data: bytes) -> list[CodedBlock]:
+        """Split ``data`` into ``n`` coded blocks, any ``k`` of which rebuild it."""
+        framed = _HEADER.pack(_MAGIC, len(data)) + data
+        block_len = (len(framed) + self.k - 1) // self.k
+        padded = framed.ljust(block_len * self.k, b"\x00")
+        blocks = np.frombuffer(padded, dtype=np.uint8).reshape(self.k, block_len)
+        coded = gf256.matmul(self._matrix, blocks)
+        return [CodedBlock(index=i, payload=coded[i].tobytes()) for i in range(self.n)]
+
+    def decode(self, blocks: list[CodedBlock]) -> bytes:
+        """Rebuild the original data from any ``k`` distinct coded blocks."""
+        unique: dict[int, CodedBlock] = {}
+        for block in blocks:
+            if not 0 <= block.index < self.n:
+                raise ValueError(f"block index {block.index} out of range for n={self.n}")
+            unique.setdefault(block.index, block)
+        if len(unique) < self.k:
+            raise ValueError(f"need at least {self.k} distinct blocks, got {len(unique)}")
+        chosen = sorted(unique.values(), key=lambda b: b.index)[: self.k]
+        lengths = {len(b.payload) for b in chosen}
+        if len(lengths) != 1:
+            raise ValueError("coded blocks have inconsistent lengths")
+        block_len = lengths.pop()
+        submatrix = np.array(
+            [self._matrix[b.index] for b in chosen], dtype=np.uint8
+        )
+        inverse = gf256.invert_matrix(submatrix)
+        stacked = np.stack(
+            [np.frombuffer(b.payload, dtype=np.uint8) for b in chosen]
+        )
+        data_blocks = gf256.matmul(inverse, stacked)
+        framed = data_blocks.reshape(-1).tobytes()[: self.k * block_len]
+        magic, length = _HEADER.unpack_from(framed)
+        if magic != _MAGIC:
+            raise ValueError("decoded data has an invalid header (wrong blocks?)")
+        payload = framed[_HEADER.size : _HEADER.size + length]
+        if len(payload) != length:
+            raise ValueError("decoded data is truncated")
+        return payload
+
+    def block_size(self, data_len: int) -> int:
+        """Size in bytes of each coded block for a payload of ``data_len`` bytes."""
+        framed = _HEADER.size + data_len
+        return (framed + self.k - 1) // self.k
+
+    def storage_overhead(self) -> float:
+        """Ratio of total stored bytes to original bytes (``n / k``)."""
+        return self.n / self.k

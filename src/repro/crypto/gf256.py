@@ -1,0 +1,174 @@
+"""Arithmetic in the finite field GF(2^8).
+
+Both the Reed–Solomon erasure code and the Shamir secret-sharing scheme used
+by the DepSky backend operate byte-wise over GF(2^8) with the AES reduction
+polynomial ``x^8 + x^4 + x^3 + x + 1`` (0x11B).  Exponential/logarithm tables
+are precomputed once; numpy lookup tables give vectorised multiplication of
+whole data blocks by a field scalar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: AES reduction polynomial.
+_POLY = 0x11B
+#: Generator of the multiplicative group used to build the exp/log tables.
+_GENERATOR = 0x03
+
+FIELD_SIZE = 256
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.uint16)
+    log = np.zeros(256, dtype=np.uint16)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by the generator (0x03 = x + 1): x*3 = x*2 ^ x
+        x2 = x << 1
+        if x2 & 0x100:
+            x2 ^= _POLY
+        x = x2 ^ x
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+    # Full 256x256 multiplication table used for vectorised block operations.
+    mul = np.zeros((256, 256), dtype=np.uint8)
+    for a in range(1, 256):
+        la = int(log[a])
+        for b in range(1, 256):
+            mul[a, b] = exp[la + int(log[b])]
+    return exp, log, mul
+
+
+_EXP, _LOG, MUL_TABLE = _build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two field elements."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[int(_LOG[a]) + int(_LOG[b])])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide ``a`` by ``b`` (``b`` must be non-zero)."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(_EXP[(int(_LOG[a]) - int(_LOG[b])) % 255])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse of ``a`` (``a`` must be non-zero)."""
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(256)")
+    return int(_EXP[255 - int(_LOG[a])])
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Raise ``a`` to ``exponent``."""
+    if exponent == 0:
+        return 1
+    if a == 0:
+        return 0
+    return int(_EXP[(int(_LOG[a]) * exponent) % 255])
+
+
+def gf_add(a: int, b: int) -> int:
+    """Addition (and subtraction) in GF(2^8) is XOR."""
+    return a ^ b
+
+
+def mul_block(scalar: int, block: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``block`` by the field ``scalar`` (vectorised)."""
+    if scalar == 0:
+        return np.zeros_like(block)
+    if scalar == 1:
+        return block.copy()
+    return MUL_TABLE[scalar][block]
+
+
+def matmul(matrix: np.ndarray, blocks: np.ndarray) -> np.ndarray:
+    """Multiply an ``(r, k)`` GF(256) matrix by ``k`` data blocks.
+
+    ``blocks`` has shape ``(k, block_len)`` with dtype ``uint8``; the result
+    has shape ``(r, block_len)``.  Used by the erasure coder for both encoding
+    and decoding.
+    """
+    rows, cols = matrix.shape
+    if blocks.shape[0] != cols:
+        raise ValueError(f"matrix expects {cols} input blocks, got {blocks.shape[0]}")
+    out = np.zeros((rows, blocks.shape[1]), dtype=np.uint8)
+    for i in range(rows):
+        acc = np.zeros(blocks.shape[1], dtype=np.uint8)
+        for j in range(cols):
+            coeff = int(matrix[i, j])
+            if coeff == 0:
+                continue
+            acc ^= mul_block(coeff, blocks[j])
+        out[i] = acc
+    return out
+
+
+def matmul_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Multiply two GF(256) matrices (small dimensions, scalar loop)."""
+    rows, inner = a.shape
+    inner_b, cols = b.shape
+    if inner != inner_b:
+        raise ValueError("matrix dimensions do not match")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for r in range(rows):
+        for c in range(cols):
+            acc = 0
+            for m in range(inner):
+                acc ^= gf_mul(int(a[r, m]), int(b[m, c]))
+            out[r, c] = acc
+    return out
+
+
+def invert_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square GF(256) matrix by Gauss–Jordan elimination.
+
+    Raises ``ValueError`` if the matrix is singular.
+    """
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ValueError("matrix must be square")
+    work = matrix.astype(np.int64).copy()
+    inverse = np.eye(n, dtype=np.int64)
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if work[r, col] != 0), None)
+        if pivot_row is None:
+            raise ValueError("matrix is singular over GF(256)")
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+            inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
+        pivot_inv = gf_inv(int(work[col, col]))
+        for c in range(n):
+            work[col, c] = gf_mul(int(work[col, c]), pivot_inv)
+            inverse[col, c] = gf_mul(int(inverse[col, c]), pivot_inv)
+        for r in range(n):
+            if r == col or work[r, col] == 0:
+                continue
+            factor = int(work[r, col])
+            for c in range(n):
+                work[r, c] ^= gf_mul(factor, int(work[col, c]))
+                inverse[r, c] ^= gf_mul(factor, int(inverse[col, c]))
+    return inverse.astype(np.uint8)
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """Return the ``rows x cols`` Vandermonde matrix with x_i = i + 1.
+
+    Using ``i + 1`` (instead of ``i``) keeps every row non-zero so any square
+    submatrix obtained after systematisation stays invertible for the small
+    ``(n, k)`` configurations DepSky uses.
+    """
+    matrix = np.zeros((rows, cols), dtype=np.uint8)
+    for r in range(rows):
+        for c in range(cols):
+            matrix[r, c] = gf_pow(r + 1, c)
+    return matrix

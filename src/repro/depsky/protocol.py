@@ -1,0 +1,427 @@
+"""The DepSky cloud-of-clouds read/write protocols.
+
+A :class:`DepSkyClient` spreads each data-unit version across ``n = 3f+1``
+clouds following Figure 6 of the SCFS paper:
+
+1. generate a fresh random key;
+2. encrypt the payload with it;
+3. erasure-code the ciphertext into ``n`` blocks (any ``k = f+1`` rebuild it);
+4. secret-share the key into ``n`` shares with threshold ``f+1``;
+5. store, in cloud *i*, block *i* together with share *i*, then update that
+   cloud's copy of the data-unit metadata (version history + block digests).
+
+Reads gather metadata from a quorum, fetch blocks until ``k`` digests verify,
+decode, reconstruct the key from the shares and decrypt.  The SCFS-specific
+extension :meth:`DepSkyClient.read_matching` retrieves the version whose
+*plaintext digest* equals a hash obtained from the consistency anchor, instead
+of the latest version.
+
+Latency model
+-------------
+The clouds of a CoC backend are created with ``charge_latency=False`` because
+DepSky accesses them *in parallel*; the client charges the simulated clock the
+latency of the slowest response within the quorum it waits for (per protocol
+stage), which is how the real system's latency behaves.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.common.errors import (
+    CloudError,
+    IntegrityError,
+    ObjectNotFoundError,
+    QuorumNotReachedError,
+)
+from repro.common.types import Permission, Principal
+from repro.clouds.object_store import ObjectStore
+from repro.crypto.cipher import SymmetricCipher, generate_key
+from repro.crypto.erasure import CodedBlock, ErasureCoder
+from repro.crypto.hashing import content_digest
+from repro.crypto.secret_sharing import SecretShare, combine_secret, split_secret
+from repro.depsky.dataunit import DataUnitMetadata, VersionRecord
+from repro.simenv.environment import Simulation
+
+#: Block object header: share x-coordinate (1 byte) + share length (2 bytes).
+_BLOCK_HEADER = struct.Struct(">BH")
+
+
+@dataclass
+class DepSkyReadResult:
+    """Result of a DepSky read: payload plus the version record it came from."""
+
+    data: bytes
+    record: VersionRecord
+    clouds_used: list[str] = field(default_factory=list)
+
+
+class DepSkyClient:
+    """Client-side implementation of the DepSky protocols over ``n`` clouds.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulation environment.
+    clouds:
+        The ``n`` object stores (one per provider), ordered; with the default
+        ``f = 1`` there must be at least four.
+    principal:
+        The acting user (ACLs are enforced by each cloud individually).
+    f:
+        Number of tolerated faulty providers.
+    encrypt:
+        Encrypt payloads with a per-version random key (Figure 6).  Disabling
+        encryption models DepSky-A (availability only).
+    preferred_quorums:
+        Store data blocks only on the first ``n - f`` clouds (metadata still
+        goes everywhere).  This is the cost optimisation the paper assumes in
+        Figure 11(c): for f=1 two clouds store half the file each and a third
+        stores one extra coded block, i.e. ~50 % storage overhead.
+    charge_latency:
+        Charge quorum latencies to the simulated clock (disable only in unit
+        tests that assert on pure protocol behaviour).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        clouds: list[ObjectStore],
+        principal: Principal,
+        f: int = 1,
+        encrypt: bool = True,
+        preferred_quorums: bool = True,
+        charge_latency: bool = True,
+    ):
+        if f < 0:
+            raise ValueError("f must be non-negative")
+        if len(clouds) < 3 * f + 1:
+            raise ValueError(f"DepSky with f={f} needs at least {3 * f + 1} clouds, got {len(clouds)}")
+        self.sim = sim
+        self.clouds = list(clouds)
+        self.principal = principal
+        self.f = f
+        self.n = len(clouds)
+        self.k = f + 1
+        self.encrypt = encrypt
+        self.preferred_quorums = preferred_quorums
+        self.charge_latency = charge_latency
+        self.coder = ErasureCoder(n=self.n, k=self.k)
+
+    # ------------------------------------------------------------------ keys
+
+    @staticmethod
+    def _meta_key(unit_id: str) -> str:
+        return f"depsky/{unit_id}/metadata"
+
+    @staticmethod
+    def _block_key(unit_id: str, version: int, index: int) -> str:
+        return f"depsky/{unit_id}/v{version:08d}-b{index}"
+
+    @staticmethod
+    def unit_prefix(unit_id: str) -> str:
+        """Cloud key prefix holding every object of the data unit."""
+        return f"depsky/{unit_id}/"
+
+    # --------------------------------------------------------------- latency
+
+    def _charge_quorum(self, latencies: list[float], need: int) -> None:
+        """Advance the clock by the ``need``-th fastest of parallel requests."""
+        if not self.charge_latency or not latencies or need <= 0:
+            return
+        ordered = sorted(latencies)
+        index = min(need, len(ordered)) - 1
+        self.sim.advance(ordered[index])
+
+    def _sample(self, cloud: ObjectStore, kind: str, payload: int) -> float:
+        profile = getattr(cloud, "profile", None)
+        if profile is None:
+            return 0.0
+        model = getattr(profile, kind)
+        return model.sample(payload, self.sim.rng)
+
+    # -------------------------------------------------------------- metadata
+
+    def _read_metadata(self, unit_id: str) -> tuple[DataUnitMetadata | None, list[float]]:
+        """Read every reachable cloud's metadata copy.
+
+        Returns the *agreed* metadata — the copy containing the highest version
+        number confirmed by at least ``f+1`` clouds (or any self-consistent
+        copy when fewer exist yet) — plus the per-cloud latencies sampled.
+        """
+        copies: list[DataUnitMetadata] = []
+        latencies: list[float] = []
+        for cloud in self.clouds:
+            try:
+                blob = cloud.get(self._meta_key(unit_id), self.principal)
+                latencies.append(self._sample(cloud, "object_get", len(blob)))
+                copies.append(DataUnitMetadata.from_bytes(blob))
+            except (CloudError, ValueError):
+                latencies.append(self._sample(cloud, "object_get", 0))
+                continue
+        if not copies:
+            return None, latencies
+        # Count confirmations of each (version, digest) pair across clouds.
+        confirmations: dict[tuple[int, str], int] = {}
+        for copy in copies:
+            for record in copy.versions:
+                pair = (record.version, record.data_digest)
+                confirmations[pair] = confirmations.get(pair, 0) + 1
+        agreed_pairs = {pair for pair, count in confirmations.items() if count >= self.k}
+        best: DataUnitMetadata | None = None
+        best_version = -1
+        for copy in copies:
+            latest = copy.latest()
+            if latest is None:
+                continue
+            pair = (latest.version, latest.data_digest)
+            if (pair in agreed_pairs or len(copies) < self.k) and latest.version > best_version:
+                best, best_version = copy, latest.version
+        return best or copies[0], latencies
+
+    # ------------------------------------------------------------------ write
+
+    def write(self, unit_id: str, data: bytes) -> VersionRecord:
+        """Write a new version of ``unit_id`` containing ``data``.
+
+        Returns the version record (whose ``data_digest`` the SCFS metadata
+        service will anchor in the coordination service).
+        """
+        metadata, meta_latencies = self._read_metadata(unit_id)
+        self._charge_quorum(meta_latencies, self.k)
+        if metadata is None:
+            metadata = DataUnitMetadata(unit_id=unit_id)
+        version = metadata.next_version()
+
+        payload = data
+        shares: list[SecretShare] | None = None
+        if self.encrypt:
+            key = generate_key(self.sim.rng)
+            cipher = SymmetricCipher(key)
+            payload = cipher.encrypt(data, self.sim.rng)
+            shares = split_secret(key, self.n, self.k, self.sim.rng)
+
+        blocks = self.coder.encode(payload)
+        record = VersionRecord(
+            version=version,
+            data_digest=content_digest(data),
+            size=len(data),
+            block_digests=tuple(content_digest(b.payload) for b in blocks),
+            created_at=self.sim.now(),
+            writer=self.principal.name,
+        )
+        metadata.add(record)
+        meta_blob = metadata.to_bytes()
+
+        data_targets = self.n - self.f if self.preferred_quorums else self.n
+        put_latencies: list[float] = []
+        acks = 0
+        for index, cloud in enumerate(self.clouds):
+            if acks >= data_targets:
+                # Preferred quorum reached: the remaining clouds receive no data
+                # blocks, which is where the ~1.5x storage factor of Figure 11(c)
+                # comes from.  A failed preferred cloud spills over to the next.
+                break
+            share = shares[index] if shares is not None else SecretShare(x=index + 1, data=b"")
+            blob = _BLOCK_HEADER.pack(share.x, len(share.data)) + share.data + blocks[index].payload
+            try:
+                cloud.put(self._block_key(unit_id, version, index), blob, self.principal)
+                put_latencies.append(self._sample(cloud, "object_put", len(blob)))
+                acks += 1
+            except CloudError:
+                put_latencies.append(self._sample(cloud, "object_put", len(blob)))
+                continue
+        required_acks = min(self.n - self.f, data_targets)
+        if acks < required_acks:
+            raise QuorumNotReachedError(
+                f"only {acks} clouds acknowledged the data blocks of {unit_id!r}",
+                responses=acks, required=required_acks,
+            )
+        self._charge_quorum(put_latencies, required_acks)
+
+        meta_latencies = []
+        meta_acks = 0
+        for cloud in self.clouds:
+            try:
+                cloud.put(self._meta_key(unit_id), meta_blob, self.principal)
+                meta_latencies.append(self._sample(cloud, "object_put", len(meta_blob)))
+                meta_acks += 1
+            except CloudError:
+                meta_latencies.append(self._sample(cloud, "object_put", len(meta_blob)))
+                continue
+        if meta_acks < self.n - self.f:
+            raise QuorumNotReachedError(
+                f"only {meta_acks} clouds acknowledged the metadata of {unit_id!r}",
+                responses=meta_acks, required=self.n - self.f,
+            )
+        self._charge_quorum(meta_latencies, self.n - self.f)
+        return record
+
+    # ------------------------------------------------------------------- read
+
+    def _fetch_blocks(self, unit_id: str, record: VersionRecord) -> tuple[list[CodedBlock], list[SecretShare], list[str], list[float]]:
+        blocks: list[CodedBlock] = []
+        shares: list[SecretShare] = []
+        used: list[str] = []
+        latencies: list[float] = []
+        for index, cloud in enumerate(self.clouds):
+            if len(blocks) >= self.k:
+                break
+            key = self._block_key(unit_id, record.version, index)
+            try:
+                blob = cloud.get(key, self.principal)
+            except CloudError:
+                latencies.append(self._sample(cloud, "object_get", 0))
+                continue
+            latencies.append(self._sample(cloud, "object_get", len(blob)))
+            if len(blob) < _BLOCK_HEADER.size:
+                continue
+            x, share_len = _BLOCK_HEADER.unpack_from(blob)
+            share_data = blob[_BLOCK_HEADER.size:_BLOCK_HEADER.size + share_len]
+            payload = blob[_BLOCK_HEADER.size + share_len:]
+            if index < len(record.block_digests) and content_digest(payload) != record.block_digests[index]:
+                # Corrupted or Byzantine answer — ignore this cloud's block.
+                continue
+            blocks.append(CodedBlock(index=index, payload=payload))
+            shares.append(SecretShare(x=x, data=share_data))
+            used.append(cloud.name)
+        return blocks, shares, used, latencies
+
+    def _assemble(self, unit_id: str, record: VersionRecord) -> DepSkyReadResult:
+        blocks, shares, used, latencies = self._fetch_blocks(unit_id, record)
+        self._charge_quorum(latencies, self.k)
+        if len(blocks) < self.k:
+            raise QuorumNotReachedError(
+                f"could not gather {self.k} valid blocks of {unit_id!r} v{record.version}",
+                responses=len(blocks), required=self.k,
+            )
+        payload = self.coder.decode(blocks)
+        if self.encrypt:
+            key = combine_secret(shares, self.k)
+            payload = SymmetricCipher(key).decrypt(payload)
+        if content_digest(payload) != record.data_digest:
+            raise IntegrityError(
+                f"decoded payload of {unit_id!r} v{record.version} does not match its digest"
+            )
+        return DepSkyReadResult(data=payload, record=record, clouds_used=used)
+
+    def read_latest(self, unit_id: str) -> DepSkyReadResult:
+        """Read the most recent version of ``unit_id`` (classic DepSky read)."""
+        metadata, latencies = self._read_metadata(unit_id)
+        self._charge_quorum(latencies, self.k)
+        if metadata is None or metadata.latest() is None:
+            raise ObjectNotFoundError(f"data unit {unit_id!r} has no visible version")
+        return self._assemble(unit_id, metadata.latest())
+
+    def read_matching(self, unit_id: str, digest: str) -> DepSkyReadResult:
+        """Read the version of ``unit_id`` whose plaintext digest is ``digest``.
+
+        This is the operation added to DepSky for SCFS (§3.2): the digest comes
+        from the consistency anchor, so a metadata copy containing it is
+        self-verifying and a single copy suffices to locate the version.
+        Raises :class:`ObjectNotFoundError` when no cloud has (yet) a metadata
+        copy listing the requested digest — the caller retries, implementing
+        the ``do ... while`` loop of Figure 3.
+        """
+        metadata, latencies = self._read_metadata(unit_id)
+        self._charge_quorum(latencies, self.k)
+        record = metadata.find_by_digest(digest) if metadata is not None else None
+        if record is None:
+            # Fall back to scanning every copy (a lagging majority may not list
+            # the version yet while one up-to-date cloud already does).
+            record = self._find_digest_any_copy(unit_id, digest)
+        if record is None:
+            raise ObjectNotFoundError(
+                f"no cloud lists a version of {unit_id!r} with digest {digest[:12]}…"
+            )
+        return self._assemble(unit_id, record)
+
+    def _find_digest_any_copy(self, unit_id: str, digest: str) -> VersionRecord | None:
+        for cloud in self.clouds:
+            try:
+                blob = cloud.get(self._meta_key(unit_id), self.principal)
+                copy = DataUnitMetadata.from_bytes(blob)
+            except (CloudError, ValueError):
+                continue
+            record = copy.find_by_digest(digest)
+            if record is not None:
+                return record
+        return None
+
+    # ----------------------------------------------------------- maintenance
+
+    def list_versions(self, unit_id: str) -> list[VersionRecord]:
+        """Return the agreed version history of ``unit_id`` (empty if unknown)."""
+        metadata, latencies = self._read_metadata(unit_id)
+        self._charge_quorum(latencies, self.k)
+        return list(metadata.versions) if metadata is not None else []
+
+    def delete_version(self, unit_id: str, version: int) -> None:
+        """Delete the blocks of one version from every cloud and update metadata.
+
+        Used by the SCFS garbage collector (§2.5.3).
+        """
+        metadata, latencies = self._read_metadata(unit_id)
+        self._charge_quorum(latencies, self.k)
+        delete_latencies: list[float] = []
+        for index, cloud in enumerate(self.clouds):
+            try:
+                cloud.delete(self._block_key(unit_id, version, index), self.principal)
+            except CloudError:
+                pass
+            delete_latencies.append(self._sample(cloud, "object_delete", 0))
+        self._charge_quorum(delete_latencies, self.n - self.f)
+        if metadata is not None and metadata.remove_version(version):
+            blob = metadata.to_bytes()
+            put_latencies = []
+            for cloud in self.clouds:
+                try:
+                    cloud.put(self._meta_key(unit_id), blob, self.principal)
+                except CloudError:
+                    pass
+                put_latencies.append(self._sample(cloud, "object_put", len(blob)))
+            self._charge_quorum(put_latencies, self.n - self.f)
+
+    def destroy_unit(self, unit_id: str) -> None:
+        """Remove every object of the data unit from every cloud."""
+        prefix = self.unit_prefix(unit_id)
+        for cloud in self.clouds:
+            try:
+                listing = cloud.list_keys(prefix, self.principal)
+                for key in listing.keys:
+                    cloud.delete(key, self.principal)
+            except CloudError:
+                continue
+
+    def set_acl(self, unit_id: str, grantee: Principal, permission: Permission) -> None:
+        """Grant ``permission`` on the whole data unit to ``grantee`` in every cloud.
+
+        Uses one prefix (bucket-policy) grant per cloud so that future versions
+        are covered too — the cloud-side half of SCFS's ``setfacl`` (§2.6).
+        """
+        latencies = []
+        for cloud in self.clouds:
+            canonical = grantee.canonical_id(cloud.name)
+            set_policy = getattr(cloud, "set_bucket_policy", None)
+            try:
+                if set_policy is not None:
+                    set_policy(self.unit_prefix(unit_id), canonical, permission, self.principal)
+                else:  # pragma: no cover - only for exotic ObjectStore impls
+                    for key in cloud.list_keys(self.unit_prefix(unit_id), self.principal).keys:
+                        cloud.set_acl(key, canonical, permission, self.principal)
+            except CloudError:
+                pass
+            latencies.append(self._sample(cloud, "metadata_op", 0))
+        self._charge_quorum(latencies, self.n - self.f)
+
+    def stored_bytes(self, unit_id: str) -> int:
+        """Total bytes stored for ``unit_id`` across all clouds (cost analysis)."""
+        total = 0
+        for cloud in self.clouds:
+            try:
+                listing = cloud.list_keys(self.unit_prefix(unit_id), self.principal)
+                total += listing.total_bytes
+            except CloudError:
+                continue
+        return total

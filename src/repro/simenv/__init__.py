@@ -1,0 +1,24 @@
+"""Deterministic simulation environment.
+
+The paper evaluates SCFS against real commercial clouds; this reproduction
+replaces wall-clock time and real networks by a discrete simulated clock and
+per-provider latency models.  Every remote access (cloud storage request,
+coordination service operation) *charges* its latency to the shared
+:class:`SimClock`, so benchmarks measure deterministic simulated seconds
+instead of noisy wall-clock time.
+"""
+
+from repro.simenv.clock import SimClock
+from repro.simenv.latency import LatencyModel, NetworkProfile
+from repro.simenv.failures import FailureSchedule, FaultKind, FaultWindow
+from repro.simenv.environment import Simulation
+
+__all__ = [
+    "SimClock",
+    "LatencyModel",
+    "NetworkProfile",
+    "FailureSchedule",
+    "FaultKind",
+    "FaultWindow",
+    "Simulation",
+]

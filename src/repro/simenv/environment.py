@@ -1,0 +1,157 @@
+"""The :class:`Simulation` container shared by every simulated component.
+
+A ``Simulation`` owns the simulated clock, a seeded random generator and a
+queue of *deferred tasks*.  Deferred tasks model the background activity that
+the real SCFS performs in separate threads: background uploads in the
+non-blocking mode and the garbage-collector thread.  A task scheduled for
+simulated time *t* runs as soon as the clock reaches or passes *t* (either via
+an explicit :meth:`Simulation.run_until` or as a side effect of another
+operation advancing the clock).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simenv.clock import SimClock
+
+
+@dataclass(order=True)
+class _ScheduledTask:
+    when: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class TaskHandle:
+    """Handle returned by :meth:`Simulation.schedule`; allows cancellation."""
+
+    def __init__(self, task: _ScheduledTask):
+        self._task = task
+
+    @property
+    def when(self) -> float:
+        """Simulated time at which the task is due."""
+        return self._task.when
+
+    @property
+    def name(self) -> str:
+        """Human-readable task name (used in debugging and tests)."""
+        return self._task.name
+
+    def cancel(self) -> None:
+        """Prevent the task from running if it has not run yet."""
+        self._task.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._task.cancelled
+
+
+class Simulation:
+    """Deterministic simulation environment.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the random generator used for latency jitter and workload
+        generation.  Two simulations created with the same seed and subjected
+        to the same operations produce identical traces.
+    start_time:
+        Initial simulated time (seconds).
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0):
+        self.clock = SimClock(start_time)
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self._queue: list[_ScheduledTask] = []
+        self._seq = itertools.count()
+        self._draining = False
+        self.clock.subscribe(self._on_clock_advanced)
+
+    # -- time ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now()
+
+    def advance(self, seconds: float) -> float:
+        """Advance simulated time, running any deferred task that becomes due."""
+        return self.clock.advance(seconds)
+
+    # -- deferred tasks -----------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], Any], name: str = "") -> TaskHandle:
+        """Schedule ``callback`` to run ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule a task in the past")
+        task = _ScheduledTask(self.clock.now() + delay, next(self._seq), callback, name)
+        heapq.heappush(self._queue, task)
+        return TaskHandle(task)
+
+    def schedule_at(self, when: float, callback: Callable[[], Any], name: str = "") -> TaskHandle:
+        """Schedule ``callback`` for absolute simulated time ``when``."""
+        return self.schedule(max(0.0, when - self.clock.now()), callback, name)
+
+    def pending_tasks(self) -> int:
+        """Number of scheduled-but-not-yet-run (and not cancelled) tasks."""
+        return sum(1 for t in self._queue if not t.cancelled)
+
+    def run_until(self, deadline: float) -> None:
+        """Advance the clock to ``deadline``, executing all tasks due on the way."""
+        self.clock.advance_to(deadline)
+
+    def drain(self, extra: float = 0.0) -> None:
+        """Run every pending task by advancing time past the last deadline.
+
+        ``extra`` additional seconds are added at the end, which benchmarks use
+        to model an idle tail (e.g. waiting for background uploads to settle).
+        """
+        guard = 0
+        while True:
+            self._run_due_tasks()
+            pending = [t for t in self._queue if not t.cancelled]
+            if not pending:
+                break
+            last = max(t.when for t in pending)
+            self.clock.advance_to(last)
+            guard += 1
+            if guard > 10_000:
+                raise RuntimeError("simulation drain did not converge (task storm?)")
+        if extra:
+            self.clock.advance(extra)
+
+    def _run_due_tasks(self) -> None:
+        """Run tasks whose deadline is not in the future (without moving the clock)."""
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._queue and self._queue[0].when <= self.clock.now():
+                task = heapq.heappop(self._queue)
+                if not task.cancelled:
+                    task.callback()
+        finally:
+            self._draining = False
+
+    # -- internal -----------------------------------------------------------
+
+    def _on_clock_advanced(self, _old: float, new: float) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._queue and self._queue[0].when <= self.clock.now():
+                task = heapq.heappop(self._queue)
+                if task.cancelled:
+                    continue
+                task.callback()
+        finally:
+            self._draining = False

@@ -1,0 +1,63 @@
+"""Failure injection for simulated cloud providers and coordination replicas.
+
+The cloud-of-clouds backend of SCFS exists precisely because individual
+providers suffer outages, data corruption and even malicious (Byzantine)
+behaviour.  :class:`FailureSchedule` lets tests and benchmarks declare *when*
+and *how* a given provider misbehaves, keyed on simulated time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FaultKind(enum.Enum):
+    """The ways a simulated provider can misbehave."""
+
+    #: Requests raise :class:`~repro.common.errors.CloudUnavailableError`.
+    UNAVAILABLE = "unavailable"
+    #: Reads return corrupted payloads (flipped bytes); writes appear to
+    #: succeed but store corrupted data.
+    CORRUPTION = "corruption"
+    #: Reads return stale or attacker-chosen data and metadata: the provider
+    #: behaves arbitrarily (Byzantine).
+    BYZANTINE = "byzantine"
+    #: Writes are silently dropped (acknowledged but not stored).
+    DROP_WRITES = "drop_writes"
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """A single fault active on ``[start, end)`` of simulated time."""
+
+    kind: FaultKind
+    start: float = 0.0
+    end: float = float("inf")
+
+    def active_at(self, now: float) -> bool:
+        """True if this fault window covers simulated instant ``now``."""
+        return self.start <= now < self.end
+
+
+@dataclass
+class FailureSchedule:
+    """Set of fault windows affecting one component (e.g. one cloud provider)."""
+
+    windows: list[FaultWindow] = field(default_factory=list)
+
+    def add(self, kind: FaultKind, start: float = 0.0, end: float = float("inf")) -> None:
+        """Schedule ``kind`` to be active on ``[start, end)``."""
+        self.windows.append(FaultWindow(kind, start, end))
+
+    def clear(self) -> None:
+        """Remove all scheduled faults."""
+        self.windows.clear()
+
+    def active(self, now: float) -> set[FaultKind]:
+        """Return the set of fault kinds active at simulated time ``now``."""
+        return {w.kind for w in self.windows if w.active_at(now)}
+
+    def is_active(self, kind: FaultKind, now: float) -> bool:
+        """True if ``kind`` is active at ``now``."""
+        return any(w.kind is kind and w.active_at(now) for w in self.windows)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the SCFS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import Principal
+from repro.simenv.environment import Simulation
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    """A fresh deterministic simulation environment."""
+    return Simulation(seed=1234)
+
+
+@pytest.fixture
+def alice() -> Principal:
+    """A test principal with canonical ids for the four CoC providers."""
+    return Principal(
+        name="alice",
+        canonical_ids=(
+            ("amazon-s3", "alice@amazon-s3"),
+            ("google-storage", "alice@google-storage"),
+            ("rackspace-files", "alice@rackspace-files"),
+            ("windows-azure", "alice@windows-azure"),
+        ),
+    )
+
+
+@pytest.fixture
+def bob() -> Principal:
+    """A second test principal."""
+    return Principal(name="bob", canonical_ids=(("amazon-s3", "bob@amazon-s3"),))

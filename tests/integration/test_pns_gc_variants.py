@@ -1,0 +1,198 @@
+"""Integration tests: private name spaces, garbage collection, all Table 2
+variants end-to-end, and the ZooKeeper-backed configuration."""
+
+import pytest
+
+from repro.common.types import Permission
+from repro.common.units import KB
+from repro.core.config import GarbageCollectionPolicy, SCFSConfig
+from repro.core.deployment import SCFSDeployment
+from repro.core.modes import VARIANTS
+
+
+class TestPrivateNameSpacesIntegration:
+    def _deployment(self):
+        return SCFSDeployment.for_variant("SCFS-CoC-NB", seed=41, private_name_spaces=True)
+
+    def test_private_files_do_not_touch_the_coordination_service(self):
+        deployment = self._deployment()
+        fs = deployment.create_agent("alice")
+        fs.mkdir("/home")
+        entries_before = deployment.coordination_entries()
+        reads_before = fs.agent.metadata.coordination_reads
+        for i in range(10):
+            fs.write_file(f"/home/note-{i}.txt", b"private note")
+        assert deployment.coordination_entries() == entries_before
+        assert fs.agent.metadata.coordination_reads == reads_before
+
+    def test_shared_files_still_get_coordination_entries(self):
+        deployment = self._deployment()
+        fs = deployment.create_agent("alice")
+        fs.mkdir("/shared", shared=True)
+        before = deployment.coordination_entries()
+        fs.write_file("/shared/doc.txt", b"shared", shared=True)
+        assert deployment.coordination_entries() == before + 1
+
+    def test_setfacl_promotes_private_file_to_shared(self):
+        deployment = self._deployment()
+        alice = deployment.create_agent("alice")
+        bob = deployment.create_agent("bob")
+        alice.write_file("/report.txt", b"was private")
+        assert alice.agent.pns.contains("/report.txt")
+        before = deployment.coordination_entries()
+        alice.setfacl("/report.txt", "bob", Permission.READ)
+        assert not alice.agent.pns.contains("/report.txt")
+        assert deployment.coordination_entries() == before + 1
+        deployment.drain(2.0)
+        assert bob.read_file("/report.txt") == b"was private"
+
+    def test_pns_survives_unmount_and_remount(self):
+        deployment = self._deployment()
+        fs = deployment.create_agent("alice")
+        fs.mkdir("/home")
+        fs.write_file("/home/persistent.txt", b"still here")
+        fs.unmount()
+        deployment.drain(2.0)
+
+        again = deployment.create_agent("alice")
+        deployment.sim.advance(1.0)
+        assert again.read_file("/home/persistent.txt") == b"still here"
+
+    def test_non_sharing_mode_keeps_all_metadata_in_pns(self):
+        deployment = SCFSDeployment.for_variant("SCFS-CoC-NS", seed=42)
+        fs = deployment.create_agent("alice")
+        for i in range(5):
+            fs.write_file(f"/file-{i}.txt", b"x")
+        assert len(fs.agent.pns) == 5
+        assert deployment.coordination is None
+
+    def test_coordination_footprint_shrinks_with_pns(self):
+        """The §2.7 argument: with PNSs the coordination service only stores
+        entries for the *shared* files (plus one PNS tuple per user)."""
+        without_pns = SCFSDeployment.for_variant("SCFS-CoC-NB", seed=43)
+        fs_plain = without_pns.create_agent("alice")
+        fs_plain.mkdir("/d", shared=True)
+        for i in range(20):
+            fs_plain.write_file(f"/d/f-{i}.txt", b"x", shared=True)
+        without_pns.drain()
+
+        with_pns = SCFSDeployment.for_variant("SCFS-CoC-NB", seed=43, private_name_spaces=True)
+        fs_pns = with_pns.create_agent("alice")
+        fs_pns.mkdir("/d")
+        for i in range(20):
+            shared = i < 2  # 10 % shared, like the traces cited in the paper
+            fs_pns.write_file(f"/d/f-{i}.txt", b"x", shared=shared)
+        with_pns.drain()
+
+        assert with_pns.coordination_entries() < without_pns.coordination_entries() / 3
+
+
+class TestGarbageCollectionIntegration:
+    def _deployment(self, threshold=64 * KB, versions=2):
+        config = SCFSConfig.for_variant(
+            "SCFS-AWS-B",
+            gc=GarbageCollectionPolicy(written_bytes_threshold=threshold,
+                                       versions_to_keep=versions),
+        )
+        return SCFSDeployment(config, seed=44)
+
+    def test_gc_triggers_automatically_after_w_bytes(self):
+        deployment = self._deployment(threshold=32 * KB)
+        fs = deployment.create_agent("alice")
+        for round_number in range(6):
+            fs.write_file("/big.bin", bytes([round_number]) * (16 * KB))
+        deployment.drain(2.0)
+        assert fs.agent.gc.runs >= 1
+
+    def test_gc_keeps_only_v_versions(self):
+        deployment = self._deployment(threshold=1 << 30, versions=2)
+        fs = deployment.create_agent("alice")
+        for i in range(5):
+            fs.write_file("/doc.txt", f"version {i}".encode())
+        deployment.sim.advance(2.0)
+        report = fs.collect_garbage()
+        assert report.versions_deleted == 3
+        meta = fs.stat("/doc.txt")
+        remaining = fs.agent.backend.list_versions(meta.file_id)
+        assert len(remaining) == 2
+        assert meta.digest in {r.digest for r in remaining}
+
+    def test_gc_reclaims_deleted_files_storage_and_metadata(self):
+        deployment = self._deployment(threshold=1 << 30)
+        fs = deployment.create_agent("alice")
+        fs.write_file("/temp.bin", b"z" * (8 * KB), shared=True)
+        meta = fs.stat("/temp.bin")
+        fs.unlink("/temp.bin")
+        deployment.sim.advance(2.0)
+        stored_before = deployment.stored_bytes()
+        report = fs.collect_garbage()
+        assert report.deleted_files_purged == 1
+        assert deployment.stored_bytes() < stored_before
+        assert not fs.exists("/temp.bin")
+        assert fs.agent.backend.list_versions(meta.file_id) == []
+
+    def test_gc_never_touches_other_users_files(self):
+        deployment = SCFSDeployment.for_variant("SCFS-AWS-B", seed=45)
+        alice = deployment.create_agent("alice")
+        bob = deployment.create_agent("bob")
+        alice.write_file("/mine.txt", b"alice v1", shared=True)
+        alice.write_file("/mine.txt", b"alice v2")
+        bob.write_file("/bobs.txt", b"bob v1", shared=True)
+        deployment.sim.advance(2.0)
+        report = bob.collect_garbage()
+        assert report.files_examined == 1  # only bob's file
+
+
+class TestAllVariantsEndToEnd:
+    @pytest.mark.parametrize("variant_name", sorted(VARIANTS))
+    def test_basic_workflow_on_every_variant(self, variant_name):
+        deployment = SCFSDeployment.for_variant(variant_name, seed=46)
+        fs = deployment.create_agent("user")
+        fs.mkdir("/work")
+        fs.write_file("/work/a.txt", b"alpha")
+        fs.write_file("/work/b.txt", b"beta")
+        fs.copy("/work/a.txt", "/work/c.txt")
+        fs.rename("/work/b.txt", "/work/renamed.txt")
+        fs.unlink("/work/a.txt")
+        deployment.drain(2.0)
+        assert sorted(fs.readdir("/work")) == ["c.txt", "renamed.txt"]
+        assert fs.read_file("/work/c.txt") == b"alpha"
+        assert fs.read_file("/work/renamed.txt") == b"beta"
+
+    @pytest.mark.parametrize("variant_name", ["SCFS-AWS-B", "SCFS-CoC-NB"])
+    def test_larger_files_round_trip(self, variant_name):
+        deployment = SCFSDeployment.for_variant(variant_name, seed=47)
+        fs = deployment.create_agent("user")
+        payload = bytes(i % 251 for i in range(512 * 1024))
+        fs.write_file("/large.bin", payload)
+        deployment.drain(3.0)
+        fs.agent.memory_cache.clear()
+        fs.agent.disk_cache.clear()
+        assert fs.read_file("/large.bin") == payload
+
+
+class TestZooKeeperBackedDeployment:
+    def test_sharing_works_with_zookeeper_coordination(self):
+        deployment = SCFSDeployment.for_variant("SCFS-AWS-B", seed=48,
+                                                coordination_kind="zookeeper")
+        alice = deployment.create_agent("alice")
+        bob = deployment.create_agent("bob")
+        alice.write_file("/shared.txt", b"via zookeeper", shared=True)
+        alice.setfacl("/shared.txt", "bob", Permission.READ)
+        deployment.drain(2.0)
+        assert bob.read_file("/shared.txt") == b"via zookeeper"
+
+    def test_zookeeper_locks_prevent_write_write_conflicts(self):
+        from repro.common.errors import LockHeldError
+
+        deployment = SCFSDeployment.for_variant("SCFS-AWS-B", seed=49,
+                                                coordination_kind="zookeeper")
+        alice = deployment.create_agent("alice")
+        bob = deployment.create_agent("bob")
+        alice.write_file("/f.txt", b"v", shared=True)
+        alice.setfacl("/f.txt", "bob", Permission.READ_WRITE)
+        deployment.drain(2.0)
+        handle = alice.open("/f.txt", "r+")
+        with pytest.raises(LockHeldError):
+            bob.open("/f.txt", "r+")
+        alice.close(handle)

@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for the coding/crypto substrate.
+
+These check algebraic invariants that must hold for *any* input, not just the
+hand-picked cases of the unit tests: GF(256) field axioms, erasure-coding
+round trips through arbitrary block subsets, secret-sharing reconstruction and
+authenticated-encryption round trips.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import gf256
+from repro.crypto.cipher import SymmetricCipher, generate_key
+from repro.crypto.erasure import ErasureCoder
+from repro.crypto.hashing import content_digest
+from repro.crypto.secret_sharing import combine_secret, split_secret
+
+field_elements = st.integers(min_value=0, max_value=255)
+nonzero_elements = st.integers(min_value=1, max_value=255)
+
+
+class TestGF256Properties:
+    @given(field_elements, field_elements)
+    def test_multiplication_is_commutative(self, a, b):
+        assert gf256.gf_mul(a, b) == gf256.gf_mul(b, a)
+
+    @given(field_elements, field_elements, field_elements)
+    def test_multiplication_is_associative(self, a, b, c):
+        left = gf256.gf_mul(gf256.gf_mul(a, b), c)
+        right = gf256.gf_mul(a, gf256.gf_mul(b, c))
+        assert left == right
+
+    @given(field_elements, field_elements, field_elements)
+    def test_multiplication_distributes_over_addition(self, a, b, c):
+        left = gf256.gf_mul(a, b ^ c)
+        right = gf256.gf_mul(a, b) ^ gf256.gf_mul(a, c)
+        assert left == right
+
+    @given(nonzero_elements)
+    def test_every_nonzero_element_has_an_inverse(self, a):
+        assert gf256.gf_mul(a, gf256.gf_inv(a)) == 1
+
+    @given(field_elements, nonzero_elements)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf256.gf_div(gf256.gf_mul(a, b), b) == a
+
+    @given(field_elements)
+    def test_one_is_multiplicative_identity(self, a):
+        assert gf256.gf_mul(a, 1) == a
+
+    @given(nonzero_elements, st.integers(min_value=0, max_value=300))
+    def test_pow_matches_iterated_multiplication(self, a, exponent):
+        expected = 1
+        for _ in range(exponent):
+            expected = gf256.gf_mul(expected, a)
+        assert gf256.gf_pow(a, exponent) == expected
+
+
+class TestErasureCodingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        data=st.binary(min_size=0, max_size=5000),
+        params=st.sampled_from([(4, 2), (4, 3), (6, 3), (7, 5)]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_any_k_of_n_blocks_reconstruct_the_data(self, data, params, seed):
+        n, k = params
+        coder = ErasureCoder(n, k)
+        blocks = coder.encode(data)
+        chosen = random.Random(seed).sample(blocks, k)
+        assert coder.decode(chosen) == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.binary(min_size=1, max_size=2000))
+    def test_total_storage_is_n_over_k_of_the_payload(self, data):
+        coder = ErasureCoder(4, 2)
+        blocks = coder.encode(data)
+        total = sum(len(b.payload) for b in blocks)
+        # Framing adds a constant 10-byte header before the n/k expansion.
+        assert total <= (len(data) + 16) * coder.storage_overhead() + coder.n
+        assert total >= len(data) * coder.storage_overhead() * 0.9
+
+
+class TestSecretSharingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        secret=st.binary(min_size=1, max_size=64),
+        params=st.sampled_from([(4, 2), (5, 3), (7, 4)]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_any_t_of_n_shares_reconstruct_the_secret(self, secret, params, seed):
+        n, t = params
+        rng = random.Random(seed)
+        shares = split_secret(secret, n, t, rng)
+        chosen = rng.sample(shares, t)
+        assert combine_secret(chosen, t) == secret
+
+    @settings(max_examples=30, deadline=None)
+    @given(secret=st.binary(min_size=16, max_size=32), seed=st.integers(0, 2**16))
+    def test_shares_differ_from_the_secret(self, secret, seed):
+        shares = split_secret(secret, 4, 2, random.Random(seed))
+        assert all(share.data != secret or set(secret) == {0} for share in shares[1:])
+
+
+class TestCipherProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.binary(min_size=0, max_size=5000), seed=st.integers(0, 2**16))
+    def test_decrypt_inverts_encrypt(self, data, seed):
+        rng = random.Random(seed)
+        cipher = SymmetricCipher(generate_key(rng))
+        assert cipher.decrypt(cipher.encrypt(data, rng)) == data
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.binary(min_size=1, max_size=1000), seed=st.integers(0, 2**16))
+    def test_ciphertext_has_fixed_overhead(self, data, seed):
+        rng = random.Random(seed)
+        cipher = SymmetricCipher(generate_key(rng))
+        assert len(cipher.encrypt(data, rng)) == len(data) + cipher.overhead()
+
+
+class TestHashingProperties:
+    @given(st.binary(max_size=4096), st.binary(max_size=4096))
+    def test_equal_digests_imply_equal_data_in_practice(self, a, b):
+        if content_digest(a) == content_digest(b):
+            assert a == b
+
+    @given(st.binary(max_size=4096))
+    def test_digest_is_stable(self, data):
+        assert content_digest(data) == content_digest(bytes(data))

@@ -1,0 +1,47 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_size, build_parser, main
+
+
+class TestSizeParsing:
+    def test_kilobytes_and_megabytes(self):
+        assert _parse_size("256K") == 256 * 1024
+        assert _parse_size("4M") == 4 * 1024 * 1024
+        assert _parse_size("1000") == 1000
+
+    def test_lowercase_and_fractions(self):
+        assert _parse_size("1.5m") == int(1.5 * 1024 * 1024)
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (["variants"], ["demo"], ["table3", "--quick"],
+                     ["fig9", "--sizes", "256K"], ["fig10", "--quick"],
+                     ["fig11", "--sizes", "1M"], ["fig8", "--runs", "1"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_variants_lists_table2(self, capsys):
+        assert main(["variants"]) == 0
+        output = capsys.readouterr().out
+        assert "SCFS-CoC-NB" in output and "non-blocking" in output
+
+    def test_demo_runs_end_to_end(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "bob reads the shared file" in output
+        assert "micro-dollars" in output
+
+    def test_fig11a_costs_printed(self, capsys):
+        assert main(["fig11", "--sizes", "1M"]) == 0
+        output = capsys.readouterr().out
+        assert "39.60" in output and "cached read" in output

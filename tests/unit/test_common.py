@@ -1,0 +1,81 @@
+"""Unit tests for the shared value objects and helpers."""
+
+import pytest
+
+from repro.common.errors import FileSystemError, QuorumNotReachedError
+from repro.common.types import ObjectRef, Permission, Principal, fresh_id
+from repro.common.units import GB, KB, MB, human_bytes, micro_dollars
+
+
+class TestPermission:
+    def test_read_write_contains_both(self):
+        assert Permission.READ & Permission.READ_WRITE
+        assert Permission.WRITE & Permission.READ_WRITE
+
+    def test_none_is_falsey(self):
+        assert not Permission.NONE
+
+    def test_flag_composition(self):
+        assert Permission.READ | Permission.WRITE == Permission.READ_WRITE
+
+
+class TestPrincipal:
+    def test_canonical_id_lookup(self):
+        principal = Principal("alice", (("amazon-s3", "id-123"),))
+        assert principal.canonical_id("amazon-s3") == "id-123"
+
+    def test_canonical_id_falls_back_to_name(self):
+        assert Principal("alice").canonical_id("unknown-cloud") == "alice"
+
+    def test_with_canonical_id_adds_mapping(self):
+        updated = Principal("alice").with_canonical_id("gcs", "alice-gcs")
+        assert updated.canonical_id("gcs") == "alice-gcs"
+
+    def test_with_canonical_id_replaces_existing(self):
+        principal = Principal("alice", (("gcs", "old"),)).with_canonical_id("gcs", "new")
+        assert principal.canonical_id("gcs") == "new"
+        assert len(principal.canonical_ids) == 1
+
+    def test_principals_are_hashable(self):
+        assert {Principal("a"), Principal("a")} == {Principal("a")}
+
+
+class TestObjectRef:
+    def test_versioned_key_combines_id_and_hash(self):
+        ref = ObjectRef(key="file-1", digest="abc", size=10)
+        assert ref.versioned_key == "file-1#abc"
+
+    def test_refs_are_value_objects(self):
+        assert ObjectRef("k", "d", 1) == ObjectRef("k", "d", 1)
+
+
+class TestFreshId:
+    def test_ids_are_unique(self):
+        ids = {fresh_id("x") for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_prefix_is_used(self):
+        assert fresh_id("file").startswith("file-")
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KB == 1024 and MB == 1024 * KB and GB == 1024 * MB
+
+    def test_human_bytes(self):
+        assert human_bytes(100) == "100B"
+        assert human_bytes(2048) == "2.0KB"
+        assert human_bytes(4 * MB) == "4.0MB"
+        assert human_bytes(3 * GB) == "3.00GB"
+
+    def test_micro_dollars(self):
+        assert micro_dollars(0.000012) == pytest.approx(12.0)
+
+
+class TestErrors:
+    def test_quorum_error_carries_counts(self):
+        err = QuorumNotReachedError("too few", responses=2, required=3)
+        assert err.responses == 2 and err.required == 3
+
+    def test_filesystem_errors_have_errno_names(self):
+        assert FileSystemError.errno_name == "EIO"

@@ -1,0 +1,214 @@
+"""Unit tests for the cryptographic and coding substrate."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.crypto import gf256
+from repro.crypto.cipher import KEY_SIZE, SymmetricCipher, generate_key
+from repro.crypto.erasure import CodedBlock, ErasureCoder
+from repro.crypto.hashing import content_digest, hmac_digest, short_digest, verify_hmac
+from repro.crypto.secret_sharing import SecretShare, combine_secret, split_secret
+
+
+class TestHashing:
+    def test_digest_is_deterministic(self):
+        assert content_digest(b"hello") == content_digest(b"hello")
+
+    def test_digest_differs_for_different_data(self):
+        assert content_digest(b"hello") != content_digest(b"hello!")
+
+    def test_short_digest_is_prefix(self):
+        assert content_digest(b"x").startswith(short_digest(b"x"))
+
+    def test_hmac_verifies(self):
+        tag = hmac_digest(b"key", b"data")
+        assert verify_hmac(b"key", b"data", tag)
+        assert not verify_hmac(b"key", b"other", tag)
+        assert not verify_hmac(b"other", b"data", tag)
+
+
+class TestGF256:
+    def test_multiplication_by_zero_and_one(self):
+        assert gf256.gf_mul(0, 77) == 0
+        assert gf256.gf_mul(1, 77) == 77
+
+    def test_inverse_round_trip(self):
+        for a in range(1, 256):
+            assert gf256.gf_mul(a, gf256.gf_inv(a)) == 1
+
+    def test_division_is_inverse_of_multiplication(self):
+        for a, b in [(3, 7), (200, 99), (255, 2)]:
+            assert gf256.gf_div(gf256.gf_mul(a, b), b) == a
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf256.gf_div(5, 0)
+        with pytest.raises(ZeroDivisionError):
+            gf256.gf_inv(0)
+
+    def test_pow_matches_repeated_multiplication(self):
+        value = 1
+        for exponent in range(8):
+            assert gf256.gf_pow(29, exponent) == value
+            value = gf256.gf_mul(value, 29)
+
+    def test_mul_block_matches_scalar_multiplication(self):
+        block = np.array([0, 1, 2, 250, 255], dtype=np.uint8)
+        result = gf256.mul_block(7, block)
+        expected = [gf256.gf_mul(7, int(b)) for b in block]
+        assert list(result) == expected
+
+    def test_matrix_inverse_round_trip(self):
+        matrix = gf256.vandermonde(3, 3)
+        inverse = gf256.invert_matrix(matrix)
+        identity = gf256.matmul_matrix(matrix, inverse)
+        assert np.array_equal(identity, np.eye(3, dtype=np.uint8))
+
+    def test_singular_matrix_raises(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(ValueError):
+            gf256.invert_matrix(singular)
+
+    def test_matmul_validates_shapes(self):
+        with pytest.raises(ValueError):
+            gf256.matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 4), dtype=np.uint8))
+
+
+class TestErasureCoder:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ErasureCoder(2, 3)
+        with pytest.raises(ValueError):
+            ErasureCoder(300, 2)
+
+    def test_round_trip_with_all_blocks(self):
+        coder = ErasureCoder(4, 2)
+        data = bytes(range(256)) * 17
+        assert coder.decode(coder.encode(data)) == data
+
+    def test_round_trip_with_any_k_subset(self):
+        coder = ErasureCoder(4, 2)
+        data = b"the quick brown fox jumps over the lazy dog" * 9
+        blocks = coder.encode(data)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert coder.decode([blocks[i], blocks[j]]) == data
+
+    def test_decode_with_fewer_than_k_blocks_fails(self):
+        coder = ErasureCoder(4, 2)
+        blocks = coder.encode(b"payload")
+        with pytest.raises(ValueError):
+            coder.decode(blocks[:1])
+
+    def test_duplicate_blocks_do_not_count_twice(self):
+        coder = ErasureCoder(4, 2)
+        blocks = coder.encode(b"payload")
+        with pytest.raises(ValueError):
+            coder.decode([blocks[0], CodedBlock(blocks[0].index, blocks[0].payload)])
+
+    def test_empty_payload_round_trips(self):
+        coder = ErasureCoder(4, 2)
+        assert coder.decode(coder.encode(b"")) == b""
+
+    def test_storage_overhead(self):
+        assert ErasureCoder(4, 2).storage_overhead() == pytest.approx(2.0)
+        assert ErasureCoder(7, 5).storage_overhead() == pytest.approx(1.4)
+
+    def test_block_size_is_about_payload_over_k(self):
+        coder = ErasureCoder(4, 2)
+        assert coder.block_size(1000) == pytest.approx(505, abs=2)
+
+    def test_larger_configuration(self):
+        coder = ErasureCoder(7, 3)
+        data = bytes(random.Random(1).randrange(256) for _ in range(10_000))
+        blocks = coder.encode(data)
+        assert coder.decode([blocks[6], blocks[2], blocks[4]]) == data
+
+    def test_invalid_block_index_rejected(self):
+        coder = ErasureCoder(4, 2)
+        with pytest.raises(ValueError):
+            coder.decode([CodedBlock(9, b"xx"), CodedBlock(1, b"yy")])
+
+
+class TestSecretSharing:
+    def test_round_trip(self):
+        secret = bytes(range(32))
+        shares = split_secret(secret, n=4, t=2, rng=random.Random(0))
+        assert combine_secret(shares[:2], 2) == secret
+        assert combine_secret(shares[2:], 2) == secret
+
+    def test_any_threshold_subset_recovers(self):
+        secret = b"super secret key material 123456"
+        shares = split_secret(secret, n=5, t=3, rng=random.Random(1))
+        assert combine_secret([shares[4], shares[0], shares[2]], 3) == secret
+
+    def test_too_few_shares_fail(self):
+        shares = split_secret(b"secret", n=4, t=3, rng=random.Random(2))
+        with pytest.raises(ValueError):
+            combine_secret(shares[:2], 3)
+
+    def test_single_share_reveals_nothing_obvious(self):
+        secret = b"\x00" * 16
+        shares = split_secret(secret, n=4, t=2, rng=random.Random(3))
+        # With threshold 2, one share alone should not equal the secret.
+        assert shares[0].data != secret
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            split_secret(b"s", n=2, t=3)
+        with pytest.raises(ValueError):
+            split_secret(b"s", n=300, t=2)
+
+    def test_duplicate_shares_do_not_count(self):
+        shares = split_secret(b"secret", n=4, t=2, rng=random.Random(4))
+        with pytest.raises(ValueError):
+            combine_secret([shares[0], SecretShare(shares[0].x, shares[0].data)], 2)
+
+
+class TestSymmetricCipher:
+    def test_round_trip(self):
+        key = generate_key(random.Random(0))
+        cipher = SymmetricCipher(key)
+        data = b"attack at dawn" * 100
+        assert cipher.decrypt(cipher.encrypt(data, random.Random(1))) == data
+
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            SymmetricCipher(b"short")
+
+    def test_generated_keys_have_expected_size(self):
+        assert len(generate_key(random.Random(0))) == KEY_SIZE
+
+    def test_ciphertext_differs_from_plaintext(self):
+        cipher = SymmetricCipher(generate_key(random.Random(0)))
+        data = b"x" * 64
+        assert cipher.encrypt(data, random.Random(1))[16:-32] != data
+
+    def test_tampering_is_detected(self):
+        cipher = SymmetricCipher(generate_key(random.Random(0)))
+        blob = bytearray(cipher.encrypt(b"data" * 50, random.Random(1)))
+        blob[20] ^= 0xFF
+        with pytest.raises(ValueError):
+            cipher.decrypt(bytes(blob))
+
+    def test_wrong_key_is_detected(self):
+        blob = SymmetricCipher(generate_key(random.Random(0))).encrypt(b"data", random.Random(1))
+        other = SymmetricCipher(generate_key(random.Random(2)))
+        with pytest.raises(ValueError):
+            other.decrypt(blob)
+
+    def test_truncated_blob_rejected(self):
+        cipher = SymmetricCipher(generate_key(random.Random(0)))
+        with pytest.raises(ValueError):
+            cipher.decrypt(b"tiny")
+
+    def test_empty_plaintext(self):
+        cipher = SymmetricCipher(generate_key(random.Random(0)))
+        assert cipher.decrypt(cipher.encrypt(b"", random.Random(1))) == b""
+
+    def test_overhead_is_constant(self):
+        cipher = SymmetricCipher(generate_key(random.Random(0)))
+        blob = cipher.encrypt(b"z" * 1000, random.Random(1))
+        assert len(blob) - 1000 == cipher.overhead()

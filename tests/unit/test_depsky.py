@@ -1,0 +1,226 @@
+"""Unit tests for the DepSky cloud-of-clouds protocols."""
+
+import pytest
+
+from repro.clouds.providers import make_cloud_of_clouds
+from repro.common.errors import ObjectNotFoundError, QuorumNotReachedError
+from repro.common.types import Permission, Principal
+from repro.depsky.dataunit import DataUnitMetadata, VersionRecord
+from repro.depsky.protocol import DepSkyClient
+from repro.simenv.failures import FaultKind
+
+
+def make_client(sim, alice, **kwargs):
+    clouds = make_cloud_of_clouds(sim)
+    return DepSkyClient(sim, clouds, alice, f=1, **kwargs), clouds
+
+
+class TestDataUnitMetadata:
+    def _record(self, version=1, digest="d1"):
+        return VersionRecord(version=version, data_digest=digest, size=10,
+                             block_digests=("a", "b", "c", "d"), created_at=0.0, writer="alice")
+
+    def test_serialisation_round_trip(self):
+        metadata = DataUnitMetadata(unit_id="u1", versions=[self._record()])
+        parsed = DataUnitMetadata.from_bytes(metadata.to_bytes())
+        assert parsed.unit_id == "u1"
+        assert parsed.versions == metadata.versions
+
+    def test_latest_and_next_version(self):
+        metadata = DataUnitMetadata(unit_id="u")
+        assert metadata.latest() is None and metadata.next_version() == 1
+        metadata.add(self._record(1))
+        metadata.add(self._record(3))
+        assert metadata.latest().version == 3 and metadata.next_version() == 4
+
+    def test_find_by_digest_prefers_most_recent(self):
+        metadata = DataUnitMetadata(unit_id="u")
+        metadata.add(self._record(1, "x"))
+        metadata.add(self._record(2, "x"))
+        assert metadata.find_by_digest("x").version == 2
+        assert metadata.find_by_digest("missing") is None
+
+    def test_remove_version(self):
+        metadata = DataUnitMetadata(unit_id="u", versions=[self._record(1), self._record(2)])
+        assert metadata.remove_version(1)
+        assert not metadata.remove_version(1)
+        assert [v.version for v in metadata.versions] == [2]
+
+    def test_malformed_blob_raises(self):
+        with pytest.raises(ValueError):
+            DataUnitMetadata.from_bytes(b"byzantine garbage")
+
+
+class TestDepSkyClient:
+    def test_requires_enough_clouds(self, sim, alice):
+        clouds = make_cloud_of_clouds(sim)[:3]
+        with pytest.raises(ValueError):
+            DepSkyClient(sim, clouds, alice, f=1)
+
+    def test_write_then_read_matching(self, sim, alice):
+        client, _ = make_client(sim, alice)
+        data = b"dependable storage" * 100
+        record = client.write("unit", data)
+        sim.advance(3.0)
+        result = client.read_matching("unit", record.data_digest)
+        assert result.data == data
+        assert len(result.clouds_used) == client.k
+
+    def test_read_latest_returns_newest_version(self, sim, alice):
+        client, _ = make_client(sim, alice)
+        client.write("unit", b"version one")
+        sim.advance(3.0)
+        record = client.write("unit", b"version two")
+        sim.advance(3.0)
+        assert client.read_latest("unit").data == b"version two"
+        assert record.version == 2
+
+    def test_read_matching_old_version_still_possible(self, sim, alice):
+        client, _ = make_client(sim, alice)
+        first = client.write("unit", b"version one")
+        sim.advance(3.0)
+        client.write("unit", b"version two")
+        sim.advance(3.0)
+        assert client.read_matching("unit", first.data_digest).data == b"version one"
+
+    def test_read_unknown_unit_raises(self, sim, alice):
+        client, _ = make_client(sim, alice)
+        with pytest.raises(ObjectNotFoundError):
+            client.read_latest("ghost")
+        with pytest.raises(ObjectNotFoundError):
+            client.read_matching("ghost", "digest")
+
+    def test_read_not_yet_visible_digest_raises(self, sim, alice):
+        client, _ = make_client(sim, alice)
+        record = client.write("unit", b"data")
+        sim.advance(3.0)
+        with pytest.raises(ObjectNotFoundError):
+            client.read_matching("unit", "digest-that-does-not-exist" + record.data_digest[:8])
+
+    def test_write_charges_quorum_latency(self, sim, alice):
+        client, _ = make_client(sim, alice)
+        before = sim.now()
+        client.write("unit", b"x" * 100_000)
+        assert sim.now() > before
+
+    def test_charge_latency_can_be_disabled(self, sim, alice):
+        client, _ = make_client(sim, alice, charge_latency=False)
+        client.write("unit", b"x" * 100_000)
+        assert sim.now() == 0.0
+
+    def test_tolerates_one_unavailable_cloud(self, sim, alice):
+        client, clouds = make_client(sim, alice)
+        clouds[0].failures.add(FaultKind.UNAVAILABLE)
+        data = b"still available" * 50
+        record = client.write("unit", data)
+        sim.advance(3.0)
+        assert client.read_matching("unit", record.data_digest).data == data
+
+    def test_tolerates_one_byzantine_cloud_on_read(self, sim, alice):
+        client, clouds = make_client(sim, alice)
+        data = b"integrity matters" * 50
+        record = client.write("unit", data)
+        sim.advance(3.0)
+        clouds[0].failures.add(FaultKind.BYZANTINE)
+        result = client.read_matching("unit", record.data_digest)
+        assert result.data == data
+        assert clouds[0].name not in result.clouds_used
+
+    def test_two_unavailable_clouds_block_writes(self, sim, alice):
+        client, clouds = make_client(sim, alice)
+        clouds[0].failures.add(FaultKind.UNAVAILABLE)
+        clouds[1].failures.add(FaultKind.UNAVAILABLE)
+        with pytest.raises(QuorumNotReachedError):
+            client.write("unit", b"too many failures")
+
+    def test_preferred_quorum_skips_last_cloud(self, sim, alice):
+        client, clouds = make_client(sim, alice)
+        client.write("unit", b"z" * 1000)
+        # The fourth cloud receives only the metadata object, no data block.
+        last = clouds[-1]
+        keys = [key for kind, key, _ in last.request_log if kind == "put"]
+        assert all(key.endswith("/metadata") for key in keys)
+
+    def test_without_preferred_quorums_every_cloud_stores_a_block(self, sim, alice):
+        clouds = make_cloud_of_clouds(sim)
+        client = DepSkyClient(sim, clouds, alice, f=1, preferred_quorums=False)
+        client.write("unit", b"z" * 1000)
+        for cloud in clouds:
+            assert any("-b" in key for kind, key, _ in cloud.request_log if kind == "put")
+
+    def test_storage_overhead_about_one_and_a_half(self, sim, alice):
+        client, _ = make_client(sim, alice)
+        data = b"q" * 200_000
+        client.write("unit", data)
+        sim.advance(3.0)  # stored objects become listable once propagated
+        stored = client.stored_bytes("unit")
+        assert 1.3 * len(data) < stored < 1.8 * len(data)
+
+    def test_unencrypted_mode_stores_plaintext_blocks(self, sim, alice):
+        clouds = make_cloud_of_clouds(sim)
+        client = DepSkyClient(sim, clouds, alice, f=1, encrypt=False)
+        data = b"public data" * 20
+        record = client.write("unit", data)
+        sim.advance(3.0)
+        assert client.read_matching("unit", record.data_digest).data == data
+
+    def test_confidentiality_no_single_cloud_holds_plaintext(self, sim, alice):
+        client, clouds = make_client(sim, alice)
+        secret = b"TOPSECRET" * 100
+        client.write("unit", secret)
+        for cloud in clouds:
+            for key, obj in cloud._objects.items():
+                assert secret not in obj.data
+
+    def test_list_versions(self, sim, alice):
+        client, _ = make_client(sim, alice)
+        client.write("unit", b"one")
+        sim.advance(3.0)
+        client.write("unit", b"two")
+        sim.advance(3.0)
+        versions = client.list_versions("unit")
+        assert [v.version for v in versions] == [1, 2]
+        assert client.list_versions("ghost") == []
+
+    def test_delete_version_removes_blocks_and_metadata_entry(self, sim, alice):
+        client, _ = make_client(sim, alice)
+        first = client.write("unit", b"one")
+        sim.advance(3.0)
+        client.write("unit", b"two")
+        sim.advance(3.0)
+        client.delete_version("unit", first.version)
+        sim.advance(3.0)
+        assert [v.version for v in client.list_versions("unit")] == [2]
+        with pytest.raises((ObjectNotFoundError, QuorumNotReachedError)):
+            client.read_matching("unit", first.data_digest)
+
+    def test_destroy_unit_removes_everything(self, sim, alice):
+        client, clouds = make_client(sim, alice)
+        client.write("unit", b"bye")
+        sim.advance(3.0)
+        client.destroy_unit("unit")
+        for cloud in clouds:
+            assert cloud.list_keys("depsky/unit/", alice).keys == []
+
+    def test_set_acl_lets_grantee_read(self, sim, alice, bob):
+        client, clouds = make_client(sim, alice)
+        bob_full = bob
+        for cloud in clouds:
+            bob_full = bob_full.with_canonical_id(cloud.name, f"bob@{cloud.name}")
+        record = client.write("unit", b"shared data" * 30)
+        client.set_acl("unit", bob_full, Permission.READ)
+        sim.advance(3.0)
+        reader = DepSkyClient(sim, clouds, bob_full, f=1)
+        assert reader.read_matching("unit", record.data_digest).data == b"shared data" * 30
+
+    def test_acl_grant_covers_future_versions(self, sim, alice, bob):
+        client, clouds = make_client(sim, alice)
+        bob_full = bob
+        for cloud in clouds:
+            bob_full = bob_full.with_canonical_id(cloud.name, f"bob@{cloud.name}")
+        client.write("unit", b"v1")
+        client.set_acl("unit", bob_full, Permission.READ)
+        record = client.write("unit", b"v2 new version")
+        sim.advance(3.0)
+        reader = DepSkyClient(sim, clouds, bob_full, f=1)
+        assert reader.read_matching("unit", record.data_digest).data == b"v2 new version"

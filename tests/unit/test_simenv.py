@@ -1,0 +1,219 @@
+"""Unit tests for the simulation environment (clock, scheduler, latency, failures)."""
+
+import pytest
+
+from repro.simenv.clock import SimClock, Stopwatch
+from repro.simenv.environment import Simulation
+from repro.simenv.failures import FailureSchedule, FaultKind
+from repro.simenv.latency import LatencyModel, NetworkProfile, MEMORY_LATENCY, DISK_LATENCY
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(5.0).now() == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_moves_time_forward(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_advance_rejects_negative(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock(3.0)
+        assert clock.advance(0) == 3.0
+
+    def test_advance_to_future_deadline(self):
+        clock = SimClock()
+        clock.advance_to(7.0)
+        assert clock.now() == 7.0
+
+    def test_advance_to_past_deadline_does_nothing(self):
+        clock = SimClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 10.0
+
+    def test_observers_receive_old_and_new_time(self):
+        clock = SimClock()
+        seen = []
+        clock.subscribe(lambda old, new: seen.append((old, new)))
+        clock.advance(2.0)
+        assert seen == [(0.0, 2.0)]
+
+    def test_unsubscribe_stops_notifications(self):
+        clock = SimClock()
+        seen = []
+        observer = lambda old, new: seen.append(new)  # noqa: E731
+        clock.subscribe(observer)
+        clock.advance(1.0)
+        clock.unsubscribe(observer)
+        clock.advance(1.0)
+        assert seen == [1.0]
+
+    def test_stopwatch_measures_elapsed_time(self):
+        clock = SimClock()
+        watch = clock.stopwatch()
+        clock.advance(4.0)
+        assert watch.elapsed() == pytest.approx(4.0)
+
+    def test_stopwatch_reset(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(4.0)
+        watch.reset()
+        clock.advance(1.0)
+        assert watch.elapsed() == pytest.approx(1.0)
+
+
+class TestSimulation:
+    def test_same_seed_same_random_sequence(self):
+        a, b = Simulation(seed=7), Simulation(seed=7)
+        assert [a.rng.random() for _ in range(5)] == [b.rng.random() for _ in range(5)]
+
+    def test_scheduled_task_runs_when_time_reaches_deadline(self):
+        sim = Simulation()
+        ran = []
+        sim.schedule(2.0, lambda: ran.append(sim.now()))
+        sim.advance(1.0)
+        assert ran == []
+        sim.advance(1.5)
+        assert ran == [pytest.approx(2.5)]
+
+    def test_tasks_run_in_deadline_order(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(3.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.advance(5.0)
+        assert order == ["early", "late"]
+
+    def test_cancelled_task_does_not_run(self):
+        sim = Simulation()
+        ran = []
+        handle = sim.schedule(1.0, lambda: ran.append(1))
+        handle.cancel()
+        sim.advance(2.0)
+        assert ran == [] and handle.cancelled
+
+    def test_pending_tasks_counts_only_live_tasks(self):
+        sim = Simulation()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_tasks() == 1
+
+    def test_drain_runs_everything(self):
+        sim = Simulation()
+        ran = []
+        sim.schedule(1.0, lambda: ran.append("a"))
+        sim.schedule(10.0, lambda: ran.append("b"))
+        sim.drain()
+        assert ran == ["a", "b"]
+        assert sim.pending_tasks() == 0
+
+    def test_drain_extra_advances_past_last_deadline(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        sim.drain(extra=2.0)
+        assert sim.now() == pytest.approx(3.0)
+
+    def test_task_scheduled_by_task_runs_on_later_advance(self):
+        sim = Simulation()
+        ran = []
+
+        def outer():
+            sim.schedule(1.0, lambda: ran.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.drain()
+        assert ran == ["inner"]
+
+    def test_schedule_rejects_negative_delay(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time_runs_at_or_after_deadline(self):
+        sim = Simulation()
+        ran = []
+        sim.advance(5.0)
+        sim.schedule_at(6.0, lambda: ran.append(sim.now()))
+        sim.advance(0.5)
+        assert ran == []
+        # Tasks run as soon as the clock passes their deadline; within a single
+        # coarse advance they observe the post-advance time.
+        sim.advance(1.5)
+        assert len(ran) == 1 and ran[0] >= 6.0
+
+
+class TestLatencyModel:
+    def test_base_only(self):
+        assert LatencyModel(base=0.1).sample(10_000) == pytest.approx(0.1)
+
+    def test_bandwidth_term_scales_with_payload(self):
+        model = LatencyModel(base=0.0, bandwidth=1000.0)
+        assert model.sample(500) == pytest.approx(0.5)
+
+    def test_jitter_stays_within_bounds(self):
+        sim = Simulation(seed=3)
+        model = LatencyModel(base=1.0, jitter=0.2)
+        for _ in range(100):
+            assert 0.8 <= model.sample(0, sim.rng) <= 1.2
+
+    def test_no_rng_means_no_jitter(self):
+        model = LatencyModel(base=1.0, jitter=0.5)
+        assert model.sample(0, None) == pytest.approx(1.0)
+
+    def test_scaled_multiplies_base(self):
+        model = LatencyModel(base=2.0, bandwidth=10.0).scaled(0.5)
+        assert model.base == pytest.approx(1.0)
+        assert model.bandwidth == 10.0
+
+    def test_memory_faster_than_disk(self):
+        assert MEMORY_LATENCY.sample(4096) < DISK_LATENCY.sample(4096)
+
+    def test_network_profile_with_jitter_preserves_bases(self):
+        profile = NetworkProfile(name="p").with_jitter(0.3)
+        assert profile.object_get.jitter == 0.3
+        assert profile.object_get.base == NetworkProfile().object_get.base
+
+
+class TestFailureSchedule:
+    def test_empty_schedule_has_no_active_faults(self):
+        assert FailureSchedule().active(10.0) == set()
+
+    def test_window_bounds_are_half_open(self):
+        schedule = FailureSchedule()
+        schedule.add(FaultKind.UNAVAILABLE, start=1.0, end=2.0)
+        assert not schedule.is_active(FaultKind.UNAVAILABLE, 0.5)
+        assert schedule.is_active(FaultKind.UNAVAILABLE, 1.0)
+        assert schedule.is_active(FaultKind.UNAVAILABLE, 1.999)
+        assert not schedule.is_active(FaultKind.UNAVAILABLE, 2.0)
+
+    def test_default_window_is_forever(self):
+        schedule = FailureSchedule()
+        schedule.add(FaultKind.CORRUPTION)
+        assert schedule.is_active(FaultKind.CORRUPTION, 1e9)
+
+    def test_multiple_kinds_can_overlap(self):
+        schedule = FailureSchedule()
+        schedule.add(FaultKind.UNAVAILABLE, 0, 10)
+        schedule.add(FaultKind.BYZANTINE, 5, 15)
+        assert schedule.active(7.0) == {FaultKind.UNAVAILABLE, FaultKind.BYZANTINE}
+
+    def test_clear_removes_everything(self):
+        schedule = FailureSchedule()
+        schedule.add(FaultKind.DROP_WRITES)
+        schedule.clear()
+        assert schedule.active(0.0) == set()
