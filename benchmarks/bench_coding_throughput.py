@@ -1,0 +1,172 @@
+"""Coding-layer throughput: vectorised erasure encode/decode in MB/s.
+
+Unlike the figure/table benchmarks, this one measures *wall-clock* throughput
+of the GF(256) coding hot path (`repro.crypto.gf256` + `ErasureCoder`), which
+every DepSky write and read crosses (PAPER Figure 6, step 3).  It reports
+encode and decode MB/s at several ``(n, k)`` configurations and payload
+sizes, and asserts that the vectorised implementation stays at least an
+order of magnitude ahead of the retained scalar reference
+(``gf256._matmul_scalar``) at the paper's default ``(4, 2)`` with a 1 MiB
+payload.
+
+Decode is measured on an all-parity block subset — the *worst* case, which
+exercises the cached-inverse matrix path; the systematic best case (pure
+concatenation) is reported alongside for contrast.
+
+Set ``CODING_BENCH_FAST=1`` (the CI bench-smoke mode) to trim the sweep to
+the smallest configurations while keeping the scalar-versus-vectorised
+assertion intact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.bench.report import render_table
+from repro.common.units import KB, MB
+from repro.crypto import gf256
+from repro.crypto.erasure import CodedBlock, ErasureCoder
+
+FAST = os.environ.get("CODING_BENCH_FAST", "") == "1"
+
+#: (n, k) sweep; the first entry is the paper's default f=1 configuration.
+CONFIGS: tuple[tuple[int, int], ...] = ((4, 2), (6, 4)) if FAST else ((4, 2), (6, 4), (9, 6))
+SIZES: tuple[int, ...] = (64 * KB, 1 * MB) if FAST else (64 * KB, 1 * MB, 4 * MB)
+#: Timing repetitions (best-of) for the vectorised path.
+REPEATS = 2 if FAST else 5
+
+
+def _payload(size: int) -> bytes:
+    pattern = bytes((i * 131 + 17) % 256 for i in range(4096))
+    return (pattern * (size // len(pattern) + 1))[:size]
+
+
+def _best_of(function, repeats: int = REPEATS) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``function()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _mbps(size: int, seconds: float) -> float:
+    return (size / MB) / seconds if seconds > 0 else float("inf")
+
+
+def _parity_subset(coder: ErasureCoder, blocks: list[CodedBlock]) -> list[CodedBlock]:
+    """A k-subset containing as many parity blocks as possible (worst case)."""
+    parity = blocks[coder.k:]
+    return (parity + blocks[: coder.k])[: coder.k]
+
+
+def _encode_scalar(coder: ErasureCoder, data: bytes) -> list[CodedBlock]:
+    """Encode ``data`` through the scalar reference matmul (baseline)."""
+    from repro.crypto.erasure import _HEADER, _MAGIC
+
+    framed = _HEADER.pack(_MAGIC, len(data)) + data
+    block_len = (len(framed) + coder.k - 1) // coder.k
+    padded = framed.ljust(block_len * coder.k, b"\x00")
+    blocks = np.frombuffer(padded, dtype=np.uint8).reshape(coder.k, block_len)
+    coded = gf256._matmul_scalar(coder._matrix, blocks)
+    return [CodedBlock(index=i, payload=coded[i].tobytes()) for i in range(coder.n)]
+
+
+def _decode_scalar(coder: ErasureCoder, subset: list[CodedBlock]) -> bytes:
+    """Decode ``subset`` through the scalar reference matmul (baseline)."""
+    chosen = sorted(subset, key=lambda b: b.index)[: coder.k]
+    submatrix = coder._matrix[[b.index for b in chosen]]
+    inverse = gf256.invert_matrix(submatrix)
+    stacked = np.stack([np.frombuffer(b.payload, dtype=np.uint8) for b in chosen])
+    return gf256._matmul_scalar(inverse, stacked).reshape(-1).tobytes()
+
+
+def test_coding_throughput_table(run_once, benchmark, capsys):
+    """Encode/decode MB/s across (n, k) configurations and payload sizes."""
+
+    def sweep():
+        rows = []
+        for n, k in CONFIGS:
+            coder = ErasureCoder(n, k)
+            for size in SIZES:
+                data = _payload(size)
+                encode_s = _best_of(lambda: coder.encode(data))
+                blocks = coder.encode(data)
+                worst = _parity_subset(coder, blocks)
+                best = blocks[: coder.k]
+                coder.decode(worst)  # warm the decode-matrix cache
+                decode_parity_s = _best_of(lambda: coder.decode(worst))
+                decode_sys_s = _best_of(lambda: coder.decode(best))
+                rows.append([
+                    f"({n},{k})", size // KB,
+                    _mbps(size, encode_s),
+                    _mbps(size, decode_parity_s),
+                    _mbps(size, decode_sys_s),
+                ])
+        return rows
+
+    rows = run_once(sweep)
+    headers = ["(n,k)", "size KiB", "encode MB/s", "decode(parity) MB/s", "decode(systematic) MB/s"]
+    with capsys.disabled():
+        print()
+        print(render_table("Coding throughput - vectorised GF(256) erasure layer",
+                           headers, rows, float_format="{:.0f}"))
+    benchmark.extra_info["rows"] = [
+        {"config": r[0], "size_kib": r[1], "encode_mbps": round(r[2], 1),
+         "decode_parity_mbps": round(r[3], 1), "decode_systematic_mbps": round(r[4], 1)}
+        for r in rows
+    ]
+    # Loose sanity floors (CI machines vary): the vectorised path must stay
+    # far above anything a per-byte Python loop could reach (~2 MB/s).
+    for row in rows:
+        assert row[2] > 20, f"encode throughput collapsed: {row}"
+        assert row[3] > 20, f"parity-decode throughput collapsed: {row}"
+        assert row[4] > row[3], f"systematic decode should beat parity decode: {row}"
+
+
+def test_vectorized_beats_scalar_reference(run_once, benchmark, capsys):
+    """Acceptance gate: >= 10x over the scalar reference at (4, 2), 1 MiB."""
+    size = 1 * MB
+    data = _payload(size)
+    coder = ErasureCoder(4, 2)
+
+    def measure():
+        encode_s = _best_of(lambda: coder.encode(data))
+        blocks = coder.encode(data)
+        worst = _parity_subset(coder, blocks)
+        coder.decode(worst)  # warm the decode-matrix cache
+        decode_s = _best_of(lambda: coder.decode(worst))
+        # The scalar reference is slow — run it once, that is precise enough
+        # for an order-of-magnitude assertion.
+        scalar_blocks = None
+
+        def encode_scalar():
+            nonlocal scalar_blocks
+            scalar_blocks = _encode_scalar(coder, data)
+
+        scalar_encode_s = _best_of(encode_scalar, repeats=1)
+        scalar_worst = _parity_subset(coder, scalar_blocks)
+        scalar_decode_s = _best_of(lambda: _decode_scalar(coder, scalar_worst), repeats=1)
+        assert [b.payload for b in scalar_blocks] == [b.payload for b in blocks], \
+            "scalar reference and vectorised encode disagree"
+        return encode_s, decode_s, scalar_encode_s, scalar_decode_s
+
+    encode_s, decode_s, scalar_encode_s, scalar_decode_s = run_once(measure)
+    encode_speedup = scalar_encode_s / encode_s
+    decode_speedup = scalar_decode_s / decode_s
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Vectorised vs scalar reference - (n=4, k=2), 1 MiB payload",
+            ["path", "vectorised MB/s", "scalar MB/s", "speedup"],
+            [["encode", _mbps(size, encode_s), _mbps(size, scalar_encode_s), encode_speedup],
+             ["decode(parity)", _mbps(size, decode_s), _mbps(size, scalar_decode_s), decode_speedup]],
+            float_format="{:.1f}"))
+    benchmark.extra_info["encode_speedup"] = round(encode_speedup, 1)
+    benchmark.extra_info["decode_speedup"] = round(decode_speedup, 1)
+    assert encode_speedup >= 10, f"vectorised encode only {encode_speedup:.1f}x over scalar"
+    assert decode_speedup >= 10, f"vectorised decode only {decode_speedup:.1f}x over scalar"

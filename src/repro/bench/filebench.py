@@ -43,6 +43,10 @@ class MicroBenchmarkParams:
     """Knobs of the Table 3 workloads (paper defaults)."""
 
     io_file_size: int = 4 * MB
+    #: Request size of the sequential read/write benchmarks.  Larger chunks
+    #: (up to whole multi-MB files) exercise the erasure coder's chunked
+    #: encode path, which bounds temporary memory regardless of payload size.
+    io_chunk: int = 128 * KB
     random_ops: int = 256 * 1024
     random_chunk: int = 4 * KB
     #: Number of random operations actually executed (None = all of them);
@@ -120,7 +124,7 @@ def sequential_write(target: BenchTarget, params: MicroBenchmarkParams) -> float
     handle = target.fs.open(path, "w")
     data = _payload(params.io_file_size, seed=1)
     start = target.sim.now()
-    chunk = 128 * KB
+    chunk = params.io_chunk
     for offset in range(0, len(data), chunk):
         target.fs.write(handle, data[offset:offset + chunk], offset)
     elapsed = target.sim.now() - start
@@ -137,7 +141,7 @@ def sequential_read(target: BenchTarget, params: MicroBenchmarkParams) -> float:
     target.drain()
     handle = target.fs.open(path, "r")
     start = target.sim.now()
-    chunk = 128 * KB
+    chunk = params.io_chunk
     for offset in range(0, params.io_file_size, chunk):
         target.fs.read(handle, chunk, offset)
     elapsed = target.sim.now() - start

@@ -27,6 +27,7 @@ from repro.common.errors import (
     InvalidHandleError,
     QuorumNotReachedError,
     ConfigurationError,
+    SingularMatrixError,
 )
 from repro.common.types import ObjectRef, Permission, Principal
 from repro.common.units import KB, MB, GB, MONTH_SECONDS, human_bytes
@@ -53,6 +54,7 @@ __all__ = [
     "InvalidHandleError",
     "QuorumNotReachedError",
     "ConfigurationError",
+    "SingularMatrixError",
     "ObjectRef",
     "Permission",
     "Principal",

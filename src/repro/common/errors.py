@@ -43,6 +43,21 @@ class IntegrityError(CloudError):
 
 
 # ---------------------------------------------------------------------------
+# Coding / cryptography errors
+# ---------------------------------------------------------------------------
+
+
+class SingularMatrixError(ReproError, ValueError):
+    """A GF(256) matrix has no inverse (linearly dependent rows).
+
+    Raised by ``repro.crypto.gf256.invert_matrix`` and translated by the
+    erasure coder into an "insufficient independent blocks" decode failure.
+    Subclasses ``ValueError`` so callers that treat decoding problems
+    generically keep working.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Coordination service errors
 # ---------------------------------------------------------------------------
 

@@ -1,15 +1,52 @@
-"""Arithmetic in the finite field GF(2^8).
+"""Arithmetic in the finite field GF(2^8), fully vectorised with numpy.
 
 Both the Reed–Solomon erasure code and the Shamir secret-sharing scheme used
 by the DepSky backend operate byte-wise over GF(2^8) with the AES reduction
-polynomial ``x^8 + x^4 + x^3 + x + 1`` (0x11B).  Exponential/logarithm tables
-are precomputed once; numpy lookup tables give vectorised multiplication of
-whole data blocks by a field scalar.
+polynomial ``x^8 + x^4 + x^3 + x + 1`` (0x11B).
+
+Vectorisation strategy
+----------------------
+Every SCFS write erasure-codes its payload, so :func:`matmul` is the single
+hottest function in the system.  It is implemented without any Python-level
+inner loop:
+
+* ``MUL_TABLE`` is the full precomputed 256×256 product table, so multiplying
+  a coefficient matrix ``(r, k)`` by data blocks ``(k, L)`` is pure
+  fancy-indexed gathering: for the tiny matrices DepSky uses, one whole-block
+  row gather ``MUL_TABLE[coeff][block]`` per non-zero coefficient,
+  XOR-accumulated (XOR is addition in GF(2^8)); for larger matrices, a single
+  gather ``MUL_TABLE[matrix[:, :, None], blocks[None, :, :]]`` producing the
+  ``(r, k, L)`` tensor of partial products, reduced along the shared ``k``
+  axis with ``np.bitwise_xor.reduce``.
+* The 3-D gather materialises ``r * k * L`` bytes, so long blocks are
+  processed in slices of at most :data:`_MAX_GATHER_BYTES` of temporary
+  memory; callers can hand :func:`matmul` arbitrarily large payloads without
+  a proportional allocation spike.
+* :func:`matmul_matrix` and :func:`invert_matrix` (Gauss–Jordan with
+  whole-matrix row elimination per pivot) use the same gather idiom; the
+  erasure layer additionally caches inversion results per surviving-block
+  pattern (see ``repro.crypto.erasure.ErasureCoder``).
+
+A deliberately scalar reference implementation — a triple-nested Python loop
+over per-element table lookups, :func:`_matmul_scalar` — exists purely so
+property tests can cross-check the vectorised path byte-for-byte and so the
+throughput benchmark (``benchmarks/bench_coding_throughput.py``) can assert
+the vectorised path stays orders of magnitude ahead of per-element Python.
+(The pre-vectorisation ``matmul`` was already accumulating per-coefficient
+row gathers; the wins of this layer over it are the parity-only systematic
+encode, the concatenation decode, the cached decode matrices and the bounded
+chunking, not the kernel alone.)
+
+:func:`invert_matrix` raises
+:class:`~repro.common.errors.SingularMatrixError` (a ``ValueError``
+subclass) when the matrix has no inverse.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.common.errors import SingularMatrixError
 
 #: AES reduction polynomial.
 _POLY = 0x11B
@@ -17,6 +54,12 @@ _POLY = 0x11B
 _GENERATOR = 0x03
 
 FIELD_SIZE = 256
+
+#: Upper bound on the temporary gather tensor materialised by one
+#: :func:`matmul` slice (bytes).  64 MiB keeps peak memory flat even when
+#: encoding multi-hundred-MB payloads while staying far above the size where
+#: numpy's per-call overhead would matter.
+_MAX_GATHER_BYTES = 1 << 26
 
 
 def _build_tables() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -91,73 +134,128 @@ def mul_block(scalar: int, block: np.ndarray) -> np.ndarray:
     return MUL_TABLE[scalar][block]
 
 
+#: Below this many matrix entries, per-coefficient row gathers beat the 3-D
+#: gather: the Python loop runs r*k times over whole-block numpy ops, while
+#: the 3-D gather pays for materialising and re-reading the (r, k, L) tensor.
+_DENSE_GATHER_MIN_ENTRIES = 64
+
+
 def matmul(matrix: np.ndarray, blocks: np.ndarray) -> np.ndarray:
     """Multiply an ``(r, k)`` GF(256) matrix by ``k`` data blocks.
 
     ``blocks`` has shape ``(k, block_len)`` with dtype ``uint8``; the result
     has shape ``(r, block_len)``.  Used by the erasure coder for both encoding
-    and decoding.
+    and decoding.  Two fully vectorised strategies, chosen by matrix size:
+
+    * small matrices (DepSky's ``(n, k)`` always land here) accumulate one
+      fancy-indexed ``MUL_TABLE`` row gather per non-zero coefficient —
+      ``r * k`` whole-block numpy ops with no per-element Python work;
+    * larger matrices use a single 3-D gather
+      ``MUL_TABLE[matrix[:, :, None], blocks[None, :, :]]`` reduced along the
+      shared axis with ``np.bitwise_xor.reduce``, sliced so the temporary
+      tensor stays under :data:`_MAX_GATHER_BYTES`.
     """
     rows, cols = matrix.shape
     if blocks.shape[0] != cols:
         raise ValueError(f"matrix expects {cols} input blocks, got {blocks.shape[0]}")
-    out = np.zeros((rows, blocks.shape[1]), dtype=np.uint8)
+    length = blocks.shape[1]
+    if rows == 0 or cols == 0 or length == 0:
+        return np.zeros((rows, length), dtype=np.uint8)
+    matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
+    blocks = np.ascontiguousarray(blocks, dtype=np.uint8)
+    if rows * cols <= _DENSE_GATHER_MIN_ENTRIES:
+        out = np.zeros((rows, length), dtype=np.uint8)
+        for i in range(rows):
+            for j in range(cols):
+                coeff = int(matrix[i, j])
+                if coeff == 0:
+                    continue
+                if coeff == 1:
+                    out[i] ^= blocks[j]
+                else:
+                    out[i] ^= MUL_TABLE[coeff][blocks[j]]
+        return out
+    out = np.empty((rows, length), dtype=np.uint8)
+    chunk = max(1, _MAX_GATHER_BYTES // (rows * cols))
+    expanded = matrix[:, :, None]
+    for start in range(0, length, chunk):
+        segment = blocks[None, :, start:start + chunk]
+        np.bitwise_xor.reduce(MUL_TABLE[expanded, segment], axis=1,
+                              out=out[:, start:start + chunk])
+    return out
+
+
+def _matmul_scalar(matrix: np.ndarray, blocks: np.ndarray) -> np.ndarray:
+    """Scalar reference implementation of :func:`matmul`.
+
+    Triple-nested Python loops over per-element table lookups.  This exists
+    only so property tests can cross-check the vectorised path byte-for-byte
+    and so the coding-throughput benchmark has a per-element-Python baseline
+    to gate against; never call it on a hot path.
+    """
+    rows, cols = matrix.shape
+    if blocks.shape[0] != cols:
+        raise ValueError(f"matrix expects {cols} input blocks, got {blocks.shape[0]}")
+    length = blocks.shape[1]
+    inputs = [blocks[j].tolist() for j in range(cols)]
+    out = np.zeros((rows, length), dtype=np.uint8)
     for i in range(rows):
-        acc = np.zeros(blocks.shape[1], dtype=np.uint8)
+        acc = [0] * length
         for j in range(cols):
             coeff = int(matrix[i, j])
             if coeff == 0:
                 continue
-            acc ^= mul_block(coeff, blocks[j])
+            row = inputs[j]
+            for position in range(length):
+                acc[position] ^= gf_mul(coeff, row[position])
         out[i] = acc
     return out
 
 
 def matmul_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Multiply two GF(256) matrices (small dimensions, scalar loop)."""
+    """Multiply two GF(256) matrices (one gather + XOR reduction)."""
     rows, inner = a.shape
     inner_b, cols = b.shape
     if inner != inner_b:
         raise ValueError("matrix dimensions do not match")
-    out = np.zeros((rows, cols), dtype=np.uint8)
-    for r in range(rows):
-        for c in range(cols):
-            acc = 0
-            for m in range(inner):
-                acc ^= gf_mul(int(a[r, m]), int(b[m, c]))
-            out[r, c] = acc
-    return out
+    if rows == 0 or inner == 0 or cols == 0:
+        return np.zeros((rows, cols), dtype=np.uint8)
+    a = np.ascontiguousarray(a, dtype=np.uint8)
+    b = np.ascontiguousarray(b, dtype=np.uint8)
+    products = MUL_TABLE[a[:, :, None], b[None, :, :]]
+    return np.bitwise_xor.reduce(products, axis=1)
 
 
 def invert_matrix(matrix: np.ndarray) -> np.ndarray:
     """Invert a square GF(256) matrix by Gauss–Jordan elimination.
 
-    Raises ``ValueError`` if the matrix is singular.
+    Row normalisation and elimination are whole-matrix ``MUL_TABLE`` gathers
+    (one per pivot column) rather than per-element loops.  Raises
+    :class:`~repro.common.errors.SingularMatrixError` — a ``ValueError``
+    subclass — if the matrix is singular.
     """
     n = matrix.shape[0]
     if matrix.shape != (n, n):
         raise ValueError("matrix must be square")
-    work = matrix.astype(np.int64).copy()
-    inverse = np.eye(n, dtype=np.int64)
+    work = np.ascontiguousarray(matrix, dtype=np.uint8).copy()
+    inverse = np.eye(n, dtype=np.uint8)
     for col in range(n):
-        pivot_row = next((r for r in range(col, n) if work[r, col] != 0), None)
-        if pivot_row is None:
-            raise ValueError("matrix is singular over GF(256)")
+        pivot_candidates = np.nonzero(work[col:, col])[0]
+        if pivot_candidates.size == 0:
+            raise SingularMatrixError("matrix is singular over GF(256)")
+        pivot_row = col + int(pivot_candidates[0])
         if pivot_row != col:
             work[[col, pivot_row]] = work[[pivot_row, col]]
             inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
         pivot_inv = gf_inv(int(work[col, col]))
-        for c in range(n):
-            work[col, c] = gf_mul(int(work[col, c]), pivot_inv)
-            inverse[col, c] = gf_mul(int(inverse[col, c]), pivot_inv)
-        for r in range(n):
-            if r == col or work[r, col] == 0:
-                continue
-            factor = int(work[r, col])
-            for c in range(n):
-                work[r, c] ^= gf_mul(factor, int(work[col, c]))
-                inverse[r, c] ^= gf_mul(factor, int(inverse[col, c]))
-    return inverse.astype(np.uint8)
+        work[col] = MUL_TABLE[pivot_inv, work[col]]
+        inverse[col] = MUL_TABLE[pivot_inv, inverse[col]]
+        # Eliminate the pivot column from every other row in one shot.
+        factors = work[:, col].copy()
+        factors[col] = 0
+        work ^= MUL_TABLE[factors[:, None], work[col][None, :]]
+        inverse ^= MUL_TABLE[factors[:, None], inverse[col][None, :]]
+    return inverse
 
 
 def vandermonde(rows: int, cols: int) -> np.ndarray:

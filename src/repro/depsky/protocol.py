@@ -11,7 +11,12 @@ clouds following Figure 6 of the SCFS paper:
    cloud's copy of the data-unit metadata (version history + block digests).
 
 Reads gather metadata from a quorum, fetch blocks until ``k`` digests verify,
-decode, reconstruct the key from the shares and decrypt.  The SCFS-specific
+decode, reconstruct the key from the shares and decrypt.  Block fetches use
+*preferred quorums*: the first ``k`` clouds hold the systematic blocks, whose
+decode is a pure concatenation, so the client asks them first and falls back
+to parity blocks (matrix decode via a cached inverse) only when a preferred
+cloud fails; :class:`DepSkyReadResult.path` records which path served the
+read.  The SCFS-specific
 extension :meth:`DepSkyClient.read_matching` retrieves the version whose
 *plaintext digest* equals a hash obtained from the consistency anchor, instead
 of the latest version.
@@ -50,11 +55,20 @@ _BLOCK_HEADER = struct.Struct(">BH")
 
 @dataclass
 class DepSkyReadResult:
-    """Result of a DepSky read: payload plus the version record it came from."""
+    """Result of a DepSky read: payload plus the version record it came from.
+
+    ``path`` records which decode path served the read: ``"systematic"`` when
+    the ``k`` systematic blocks were fetched from the preferred clouds (decode
+    is a pure concatenation), ``"coded"`` when at least one parity block had
+    to be fetched and a cached decode matrix was applied.  ``block_indices``
+    lists the erasure-code rows actually used, in fetch order.
+    """
 
     data: bytes
     record: VersionRecord
     clouds_used: list[str] = field(default_factory=list)
+    path: str = "systematic"
+    block_indices: tuple[int, ...] = ()
 
 
 class DepSkyClient:
@@ -260,32 +274,50 @@ class DepSkyClient:
 
     # ------------------------------------------------------------------- read
 
+    def _fetch_one_block(self, unit_id: str, record: VersionRecord, index: int,
+                         blocks: list[CodedBlock], shares: list[SecretShare],
+                         used: list[str], latencies: list[float]) -> None:
+        """Try to fetch and verify block ``index``; append to the accumulators."""
+        cloud = self.clouds[index]
+        key = self._block_key(unit_id, record.version, index)
+        try:
+            blob = cloud.get(key, self.principal)
+        except CloudError:
+            latencies.append(self._sample(cloud, "object_get", 0))
+            return
+        latencies.append(self._sample(cloud, "object_get", len(blob)))
+        if len(blob) < _BLOCK_HEADER.size:
+            return
+        x, share_len = _BLOCK_HEADER.unpack_from(blob)
+        share_data = blob[_BLOCK_HEADER.size:_BLOCK_HEADER.size + share_len]
+        payload = blob[_BLOCK_HEADER.size + share_len:]
+        if index < len(record.block_digests) and content_digest(payload) != record.block_digests[index]:
+            # Corrupted or Byzantine answer — ignore this cloud's block.
+            return
+        blocks.append(CodedBlock(index=index, payload=payload))
+        shares.append(SecretShare(x=x, data=share_data))
+        used.append(cloud.name)
+
     def _fetch_blocks(self, unit_id: str, record: VersionRecord) -> tuple[list[CodedBlock], list[SecretShare], list[str], list[float]]:
+        """Fetch ``k`` verified blocks, preferring the systematic clouds.
+
+        Phase 1 asks the first ``k`` clouds, which hold the *systematic*
+        blocks: if they all answer correctly the decode is a plain
+        concatenation (the preferred-quorum read of the DepSky paper).  Only
+        when some of them fail does phase 2 fall back to the clouds holding
+        parity blocks, which cost a matrix multiplication to decode.
+        """
         blocks: list[CodedBlock] = []
         shares: list[SecretShare] = []
         used: list[str] = []
         latencies: list[float] = []
-        for index, cloud in enumerate(self.clouds):
-            if len(blocks) >= self.k:
-                break
-            key = self._block_key(unit_id, record.version, index)
-            try:
-                blob = cloud.get(key, self.principal)
-            except CloudError:
-                latencies.append(self._sample(cloud, "object_get", 0))
-                continue
-            latencies.append(self._sample(cloud, "object_get", len(blob)))
-            if len(blob) < _BLOCK_HEADER.size:
-                continue
-            x, share_len = _BLOCK_HEADER.unpack_from(blob)
-            share_data = blob[_BLOCK_HEADER.size:_BLOCK_HEADER.size + share_len]
-            payload = blob[_BLOCK_HEADER.size + share_len:]
-            if index < len(record.block_digests) and content_digest(payload) != record.block_digests[index]:
-                # Corrupted or Byzantine answer — ignore this cloud's block.
-                continue
-            blocks.append(CodedBlock(index=index, payload=payload))
-            shares.append(SecretShare(x=x, data=share_data))
-            used.append(cloud.name)
+        for index in range(self.k):
+            self._fetch_one_block(unit_id, record, index, blocks, shares, used, latencies)
+        if len(blocks) < self.k:
+            for index in range(self.k, self.n):
+                if len(blocks) >= self.k:
+                    break
+                self._fetch_one_block(unit_id, record, index, blocks, shares, used, latencies)
         return blocks, shares, used, latencies
 
     def _assemble(self, unit_id: str, record: VersionRecord) -> DepSkyReadResult:
@@ -304,7 +336,10 @@ class DepSkyClient:
             raise IntegrityError(
                 f"decoded payload of {unit_id!r} v{record.version} does not match its digest"
             )
-        return DepSkyReadResult(data=payload, record=record, clouds_used=used)
+        indices = tuple(b.index for b in blocks)
+        path = "systematic" if all(i < self.k for i in indices) else "coded"
+        return DepSkyReadResult(data=payload, record=record, clouds_used=used,
+                                path=path, block_indices=indices)
 
     def read_latest(self, unit_id: str) -> DepSkyReadResult:
         """Read the most recent version of ``unit_id`` (classic DepSky read)."""

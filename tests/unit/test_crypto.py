@@ -5,6 +5,7 @@ import random
 import numpy as np
 import pytest
 
+from repro.common.errors import SingularMatrixError
 from repro.crypto import gf256
 from repro.crypto.cipher import KEY_SIZE, SymmetricCipher, generate_key
 from repro.crypto.erasure import CodedBlock, ErasureCoder
@@ -71,9 +72,45 @@ class TestGF256:
         with pytest.raises(ValueError):
             gf256.invert_matrix(singular)
 
+    def test_singular_matrix_raises_dedicated_error(self):
+        singular = np.array([[3, 5, 6], [1, 1, 1], [2, 4, 7]], dtype=np.uint8)
+        singular[2] = singular[0] ^ singular[1]  # linearly dependent row
+        with pytest.raises(SingularMatrixError):
+            gf256.invert_matrix(singular)
+
     def test_matmul_validates_shapes(self):
         with pytest.raises(ValueError):
             gf256.matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 4), dtype=np.uint8))
+
+    def test_matmul_matches_scalar_reference(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.integers(0, 256, size=(3, 4), dtype=np.uint8)
+        blocks = rng.integers(0, 256, size=(4, 129), dtype=np.uint8)
+        assert np.array_equal(gf256.matmul(matrix, blocks),
+                              gf256._matmul_scalar(matrix, blocks))
+
+    def test_matmul_large_matrix_path_matches_scalar_reference(self):
+        # rows * cols > _DENSE_GATHER_MIN_ENTRIES exercises the chunked
+        # 3-D gather + bitwise_xor.reduce strategy.
+        rng = np.random.default_rng(8)
+        matrix = rng.integers(0, 256, size=(9, 9), dtype=np.uint8)
+        blocks = rng.integers(0, 256, size=(9, 257), dtype=np.uint8)
+        assert matrix.size > gf256._DENSE_GATHER_MIN_ENTRIES
+        assert np.array_equal(gf256.matmul(matrix, blocks),
+                              gf256._matmul_scalar(matrix, blocks))
+
+    def test_matmul_chunking_is_invisible(self, monkeypatch):
+        rng = np.random.default_rng(9)
+        matrix = rng.integers(0, 256, size=(9, 9), dtype=np.uint8)
+        blocks = rng.integers(0, 256, size=(9, 1000), dtype=np.uint8)
+        whole = gf256.matmul(matrix, blocks)
+        monkeypatch.setattr(gf256, "_MAX_GATHER_BYTES", 1024)
+        assert np.array_equal(gf256.matmul(matrix, blocks), whole)
+
+    def test_matmul_empty_blocks(self):
+        matrix = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+        result = gf256.matmul(matrix, np.zeros((2, 0), dtype=np.uint8))
+        assert result.shape == (2, 0)
 
 
 class TestErasureCoder:
@@ -130,6 +167,41 @@ class TestErasureCoder:
         coder = ErasureCoder(4, 2)
         with pytest.raises(ValueError):
             coder.decode([CodedBlock(9, b"xx"), CodedBlock(1, b"yy")])
+
+    def test_systematic_blocks_are_plain_data_slices(self):
+        coder = ErasureCoder(4, 2)
+        data = b"systematic fast path" * 40
+        blocks = coder.encode(data)
+        framed = b"".join(b.payload for b in blocks[:2])
+        assert data in framed  # the first k blocks carry the framed payload verbatim
+
+    def test_systematic_and_parity_decodes_agree(self):
+        coder = ErasureCoder(4, 2)
+        data = bytes(range(256)) * 13
+        blocks = coder.encode(data)
+        assert coder.decode(blocks[:2]) == data          # concatenation path
+        assert coder.decode(blocks[2:]) == data          # matrix path
+        assert coder.decode([blocks[0], blocks[3]]) == data  # mixed
+
+    def test_decode_matrix_is_cached_per_erasure_pattern(self):
+        coder = ErasureCoder(4, 2)
+        blocks = coder.encode(b"cache me" * 100)
+        assert coder._decode_cache == {}
+        coder.decode(blocks[2:])
+        first = coder._decode_cache[(2, 3)]
+        coder.decode(blocks[2:])
+        assert coder._decode_cache[(2, 3)] is first
+        coder.decode(blocks[:2])  # systematic path does not populate the cache
+        assert set(coder._decode_cache) == {(2, 3)}
+
+    def test_dependent_blocks_raise_singular_matrix_error(self):
+        coder = ErasureCoder(4, 2)
+        blocks = coder.encode(b"payload" * 50)
+        # Force two linearly dependent rows to simulate a degenerate code.
+        coder._matrix[3] = coder._matrix[2]
+        coder._decode_cache.clear()
+        with pytest.raises(SingularMatrixError, match="insufficient independent blocks"):
+            coder.decode(blocks[2:])
 
 
 class TestSecretSharing:

@@ -126,6 +126,49 @@ class TestDepSkyClient:
         assert result.data == data
         assert clouds[0].name not in result.clouds_used
 
+    def test_healthy_read_takes_systematic_path(self, sim, alice):
+        client, clouds = make_client(sim, alice)
+        data = b"fast path" * 64
+        client.write("unit", data)
+        sim.advance(3.0)
+        result = client.read_latest("unit")
+        assert result.data == data
+        assert result.path == "systematic"
+        assert result.block_indices == tuple(range(client.k))
+        assert result.clouds_used == [c.name for c in clouds[: client.k]]
+
+    def test_read_latest_falls_back_to_coded_blocks(self, sim, alice):
+        """Regression: with exactly n - k systematic clouds failed, the read
+        must succeed via the parity blocks and record the fallback."""
+        clouds = make_cloud_of_clouds(sim)
+        client = DepSkyClient(sim, clouds, alice, f=1, preferred_quorums=False)
+        data = b"coded fallback" * 50
+        client.write("unit", data)
+        sim.advance(3.0)
+        failed = client.n - client.k  # = k for f=1: both systematic clouds
+        for cloud in clouds[:failed]:
+            cloud.failures.add(FaultKind.UNAVAILABLE)
+        result = client.read_latest("unit")
+        assert result.data == data
+        assert result.path == "coded"
+        assert result.block_indices == (2, 3)
+        # clouds_used reflects the fallback: only non-failed, parity-holding clouds.
+        assert result.clouds_used == [c.name for c in clouds[failed:]]
+        for cloud in clouds[:failed]:
+            assert cloud.name not in result.clouds_used
+
+    def test_single_failed_preferred_cloud_uses_spillover_block(self, sim, alice):
+        client, clouds = make_client(sim, alice)
+        data = b"one preferred cloud down" * 20
+        client.write("unit", data)
+        sim.advance(3.0)
+        clouds[0].failures.add(FaultKind.UNAVAILABLE)
+        result = client.read_latest("unit")
+        assert result.data == data
+        assert result.path == "coded"
+        assert result.block_indices == (1, 2)
+        assert clouds[0].name not in result.clouds_used
+
     def test_two_unavailable_clouds_block_writes(self, sim, alice):
         client, clouds = make_client(sim, alice)
         clouds[0].failures.add(FaultKind.UNAVAILABLE)
