@@ -50,7 +50,8 @@ def test_fig11a_operation_costs_per_day(run_once, capsys):
     assert by_instance["extra_large"].capacity_files == 15_000_000
     # The price of tolerating provider failures (the $451/month of §4.5) is the
     # difference between the CoC and the 4xEC2 deployments.
-    assert (by_instance["large"].coc_per_day - by_instance["large"].ec2_times_four_per_day) * 30 == pytest.approx(439.2, rel=0.05)
+    fault_tolerance_premium = by_instance["large"].coc_per_day - by_instance["large"].ec2_times_four_per_day
+    assert fault_tolerance_premium * 30 == pytest.approx(439.2, rel=0.05)
 
 
 def test_fig11b_cost_per_operation(run_once, benchmark, capsys):
@@ -59,12 +60,17 @@ def test_fig11b_cost_per_operation(run_once, benchmark, capsys):
     rows = []
     for series, per_size in results.items():
         for size in SIZES:
-            rows.append([series, human_size(size), per_size[size].total])
+            rows.append([series, human_size(size), per_size[size].total,
+                         per_size[size].read_path])
     with capsys.disabled():
         print()
         print(render_table("Figure 11(b) - cost per operation (micro-dollars)",
-                           ["series", "file size", "cost/op (u$)"], rows))
+                           ["series", "file size", "cost/op (u$)", "read path"], rows))
         print(f"cached read (metadata validation only): {cached_read_cost():.2f} u$")
+
+    # Fault-free measured CoC reads must hit the preferred (systematic) quorum.
+    for size in SIZES:
+        assert results["CoC read"][size].read_path == "systematic"
     benchmark.extra_info["series"] = {
         series: {human_size(size): round(cost.total, 1) for size, cost in per_size.items()}
         for series, per_size in results.items()

@@ -1,0 +1,165 @@
+"""Quorum dispatch engine — latency under jitter, stragglers and faults.
+
+Sweeps fault schedules against dispatch policies for a DepSky cloud-of-clouds
+client and reports the simulated read/write latency distributions together
+with the preferred-quorum hit rates:
+
+* ``fault-free``      — all four providers healthy (jittered latencies);
+* ``one-down``        — one preferred (systematic) cloud UNAVAILABLE, so every
+                        read pays the staged parity fallback and every write
+                        spills over to the fourth cloud;
+* ``degraded``        — one preferred cloud DEGRADED (latency x8, a gray
+                        failure): it still answers, so without hedging every
+                        read waits for the straggler.
+
+Policies: plain staged dispatch, a per-request timeout with one retry, and
+hedged fallback dispatch.  The assertions pin the behaviours the dispatch
+engine exists to model:
+
+* fault-free reads are 100 % preferred-quorum hits;
+* with a failed preferred cloud, the charged read latency *strictly exceeds*
+  the fault-free systematic read (staged fallback is not free);
+* hedged backup requests beat the DEGRADED straggler, cutting p99 read
+  latency by a wide margin versus plain dispatch.
+
+Set ``QUORUM_BENCH_FAST=1`` to run a reduced sweep (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.clouds.dispatch import DispatchPolicy
+from repro.common.types import Principal
+from repro.common.units import KB
+from repro.bench.report import percentile, render_table
+from repro.clouds.providers import make_cloud_of_clouds
+from repro.depsky.protocol import DepSkyClient
+from repro.simenv.environment import Simulation
+from repro.simenv.failures import FaultKind
+
+FAST = bool(os.environ.get("QUORUM_BENCH_FAST"))
+READS = 24 if FAST else 96
+WRITES = 8 if FAST else 24
+PAYLOAD = 256 * KB
+JITTER = 0.15
+DEGRADED_FACTOR = 8.0
+
+SCHEDULES = ("fault-free", "one-down", "degraded")
+POLICIES: dict[str, DispatchPolicy | None] = {
+    "plain": None,
+    "timeout": DispatchPolicy(timeout=0.6, retries=1),
+    "hedged": DispatchPolicy(hedge_delay=0.25),
+}
+
+
+def _apply_schedule(clouds, schedule: str, start: float) -> None:
+    if schedule == "one-down":
+        clouds[0].failures.add(FaultKind.UNAVAILABLE, start=start)
+    elif schedule == "degraded":
+        clouds[0].failures.add(FaultKind.DEGRADED, start=start, factor=DEGRADED_FACTOR)
+    elif schedule != "fault-free":
+        raise ValueError(f"unknown schedule {schedule!r}")
+
+
+def _run_scenario(schedule: str, policy: DispatchPolicy | None, seed: int = 11) -> dict:
+    sim = Simulation(seed=seed)
+    clouds = make_cloud_of_clouds(sim, jitter=JITTER)
+    principal = Principal("bench-user")
+    client = DepSkyClient(sim, clouds, principal, f=1, policy=policy)
+
+    # Populate the data units while healthy, then let them propagate and
+    # activate the fault schedule for the measured phase.
+    payload = bytes((i * 73) % 256 for i in range(PAYLOAD))
+    client.write("unit-read", payload)
+    sim.advance(3.0)
+    _apply_schedule(clouds, schedule, start=sim.now())
+
+    read_latencies = []
+    paths = {"systematic": 0, "coded": 0}
+    hedged_requests = 0
+    for _ in range(READS):
+        start = sim.now()
+        result = client.read_latest("unit-read")
+        read_latencies.append(sim.now() - start)
+        paths[result.path] += 1
+        if result.stats is not None:
+            hedged_requests += result.stats.hedged
+    write_latencies = []
+    for index in range(WRITES):
+        start = sim.now()
+        client.write(f"unit-write-{index}", payload)
+        write_latencies.append(sim.now() - start)
+        sim.advance(0.5)
+
+    return {
+        "reads": read_latencies,
+        "writes": write_latencies,
+        "paths": paths,
+        "hedged": hedged_requests,
+    }
+
+
+def _sweep() -> dict[tuple[str, str], dict]:
+    return {
+        (schedule, policy_name): _run_scenario(schedule, policy)
+        for schedule in SCHEDULES
+        for policy_name, policy in POLICIES.items()
+    }
+
+
+def test_quorum_latency_sweep(run_once, benchmark, capsys):
+    results = run_once(_sweep)
+
+    rows = []
+    for (schedule, policy_name), result in results.items():
+        reads, writes = result["reads"], result["writes"]
+        total = sum(result["paths"].values())
+        hit_rate = result["paths"]["systematic"] / total if total else 0.0
+        rows.append([
+            schedule, policy_name,
+            percentile(reads, 50), percentile(reads, 95), percentile(reads, 99),
+            percentile(writes, 50), percentile(writes, 99),
+            f"{100.0 * hit_rate:.0f}%", result["hedged"],
+        ])
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Quorum dispatch latency sweep (simulated seconds, "
+            f"{READS} reads / {WRITES} writes of 256K)",
+            ["schedule", "policy", "read p50", "read p95", "read p99",
+             "write p50", "write p99", "pref. hits", "hedged"],
+            rows, float_format="{:.3f}"))
+    benchmark.extra_info["sweep"] = {
+        f"{schedule}/{policy}": {
+            "read_p50": round(percentile(result["reads"], 50), 4),
+            "read_p99": round(percentile(result["reads"], 99), 4),
+            "write_p50": round(percentile(result["writes"], 50), 4),
+            "paths": result["paths"],
+            "hedged": result["hedged"],
+        }
+        for (schedule, policy), result in results.items()
+    }
+
+    def reads(schedule, policy):
+        return results[(schedule, policy)]["reads"]
+
+    # Fault-free reads are pure preferred-quorum hits for every policy.
+    for policy in POLICIES:
+        assert results[("fault-free", policy)]["paths"]["coded"] == 0
+
+    # Staged fallback is charged: with a failed preferred cloud every read is
+    # coded and strictly slower than the fault-free systematic read.
+    assert results[("one-down", "plain")]["paths"]["systematic"] == 0
+    assert percentile(reads("one-down", "plain"), 50) > percentile(reads("fault-free", "plain"), 50)
+    assert min(reads("one-down", "plain")) > max(reads("fault-free", "plain")) * 0.9
+
+    # Without hedging, a DEGRADED straggler dominates the read latency; hedged
+    # backup requests beat it (the engine's raison d'etre) by a wide margin.
+    plain_p99 = percentile(reads("degraded", "plain"), 99)
+    hedged_p99 = percentile(reads("degraded", "hedged"), 99)
+    assert hedged_p99 < 0.7 * plain_p99, (plain_p99, hedged_p99)
+    assert results[("degraded", "hedged")]["hedged"] > 0
+    # Per-request timeouts also dodge the straggler, though later than a hedge.
+    timeout_p99 = percentile(reads("degraded", "timeout"), 99)
+    assert timeout_p99 < plain_p99

@@ -21,7 +21,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.filebench import MICRO_BENCHMARKS, MicroBenchmarkParams, run_microbenchmark_table
-from repro.bench.report import render_table
+from repro.bench.report import render_read_paths, render_table
 from repro.bench.targets import ALL_TARGET_NAMES
 
 #: Number of random 4 KB operations actually executed (result scaled to 256 k).
@@ -31,8 +31,9 @@ PARAMS = MicroBenchmarkParams(sample_ops=SAMPLE_OPS)
 
 
 def test_table3_microbenchmarks(run_once, benchmark, capsys):
+    read_paths: dict = {}
     table = run_once(run_microbenchmark_table, ALL_TARGET_NAMES, tuple(MICRO_BENCHMARKS),
-                     0, PARAMS)
+                     0, PARAMS, read_paths)
 
     headers = ["micro-benchmark"] + list(ALL_TARGET_NAMES)
     rows = [[name] + [table[name][target] for target in ALL_TARGET_NAMES]
@@ -41,10 +42,22 @@ def test_table3_microbenchmarks(run_once, benchmark, capsys):
         print()
         print(render_table("Table 3 - Filebench micro-benchmarks (simulated seconds)",
                            headers, rows, float_format="{:.2f}"))
+        print()
+        print(render_read_paths("DepSky read paths (CoC targets, all benchmarks)", read_paths))
     benchmark.extra_info["table"] = {
         bench: {target: round(value, 3) for target, value in row.items()}
         for bench, row in table.items()
     }
+    benchmark.extra_info["read_paths"] = {
+        target: {"systematic": stats.systematic, "coded": stats.coded,
+                 "fallback": stats.fallback_reads, "hedged": stats.hedged_requests}
+        for target, stats in read_paths.items()
+    }
+
+    # Fault-free runs must serve every cloud read from the preferred quorum.
+    for target, stats in read_paths.items():
+        if stats.total:
+            assert stats.systematic_rate == 1.0, (target, stats)
 
     create = table["create files"]
     copy = table["copy files"]

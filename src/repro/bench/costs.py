@@ -23,7 +23,7 @@ same outbound rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.bench.targets import build_target
 from repro.clouds.pricing import COORDINATION_CAPACITY_TUPLES
@@ -74,6 +74,10 @@ class OperationCost:
     file_size: int
     storage_cost: float
     coordination_cost: float
+    #: Decode path of a measured CoC read ("systematic"/"coded"; "-" for
+    #: writes and single-cloud operations).  Coded reads fetch parity blocks,
+    #: so the path is part of the cost story, not just the latency story.
+    read_path: str = "-"
 
     @property
     def total(self) -> float:
@@ -106,10 +110,14 @@ def _measure(system: str, operation: str, file_size: int, seed: int = 0) -> Oper
     agent = fs.agent
     before_reads = agent.metadata.coordination_reads + agent.metadata.coordination_writes
     deployment.reset_costs()
+    read_path = "-"
     if operation == "read":
         agent.memory_cache.clear()
         agent.disk_cache.clear()
         fs.read_file(path)
+        paths = getattr(agent.backend, "read_paths", None)
+        if paths is not None and paths.total:
+            read_path = "systematic" if paths.coded == 0 else "coded"
     elif operation == "write":
         fs.write_file(path, _payload(file_size, seed + 1), shared=True)
         deployment.drain(2.0)
@@ -125,6 +133,7 @@ def _measure(system: str, operation: str, file_size: int, seed: int = 0) -> Oper
         system=system, operation=operation, file_size=file_size,
         storage_cost=micro_dollars(storage_side),
         coordination_cost=micro_dollars(_coordination_cost(max(accesses, 1))),
+        read_path=read_path,
     )
 
 

@@ -31,7 +31,7 @@ operation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.common.units import KB, MB
@@ -289,18 +289,32 @@ MICRO_BENCHMARKS: dict[str, Callable[[BenchTarget, MicroBenchmarkParams], float]
 
 def run_microbenchmark(benchmark: str, target_name: str, seed: int = 0,
                        params: MicroBenchmarkParams | None = None,
+                       read_paths: dict | None = None,
                        **target_overrides) -> float:
-    """Run one Table 3 cell: ``benchmark`` on ``target_name``; returns seconds."""
+    """Run one Table 3 cell: ``benchmark`` on ``target_name``; returns seconds.
+
+    When ``read_paths`` is given, the target's DepSky read-path statistics
+    (systematic vs coded hit counts, for CoC targets only) are merged into it
+    under the target's name, so table-level callers can report preferred-quorum
+    hit rates alongside the latencies.
+    """
     params = params or MicroBenchmarkParams()
     workload = MICRO_BENCHMARKS[benchmark]
     target = build_target(target_name, seed=seed, **target_overrides)
-    return workload(target, params)
+    seconds = workload(target, params)
+    if read_paths is not None:
+        stats = target.read_path_stats()
+        if stats is not None:
+            previous = read_paths.get(target_name)
+            read_paths[target_name] = stats if previous is None else previous.merge(stats)
+    return seconds
 
 
 def run_microbenchmark_table(target_names: tuple[str, ...] = ALL_TARGET_NAMES,
                              benchmarks: tuple[str, ...] | None = None,
                              seed: int = 0,
-                             params: MicroBenchmarkParams | None = None) -> dict[str, dict[str, float]]:
+                             params: MicroBenchmarkParams | None = None,
+                             read_paths: dict | None = None) -> dict[str, dict[str, float]]:
     """Regenerate Table 3: ``{benchmark: {target: seconds}}``."""
     params = params or MicroBenchmarkParams()
     benchmarks = benchmarks or tuple(MICRO_BENCHMARKS)
@@ -308,6 +322,7 @@ def run_microbenchmark_table(target_names: tuple[str, ...] = ALL_TARGET_NAMES,
     for benchmark in benchmarks:
         row: dict[str, float] = {}
         for target_name in target_names:
-            row[target_name] = run_microbenchmark(benchmark, target_name, seed=seed, params=params)
+            row[target_name] = run_microbenchmark(benchmark, target_name, seed=seed,
+                                                  params=params, read_paths=read_paths)
         table[benchmark] = row
     return table

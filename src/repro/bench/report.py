@@ -35,6 +35,48 @@ def render_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[obj
     return "\n".join(lines)
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``values``, linearly interpolated."""
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+def render_read_paths(title: str, stats_by_target: dict) -> str:
+    """Render the preferred-quorum read statistics of CoC targets.
+
+    ``stats_by_target`` maps a target/system label to a
+    :class:`~repro.core.backend.ReadPathStats`; targets without cloud reads
+    (everything served from local caches) are shown with a dash.
+    """
+    rows = []
+    any_cloud_reads = False
+    for target, stats in stats_by_target.items():
+        if stats is None or stats.total == 0:
+            rows.append([target, 0, 0, 0, "-", 0, 0])
+            continue
+        any_cloud_reads = True
+        rows.append([target, stats.total, stats.systematic, stats.coded,
+                     f"{100.0 * stats.systematic_rate:.0f}%",
+                     stats.fallback_reads, stats.hedged_requests])
+    table = render_table(
+        title,
+        ["target", "cloud reads", "systematic", "coded", "hit rate", "fallback", "hedged"],
+        rows,
+    )
+    if rows and not any_cloud_reads:
+        table += ("\n(no cloud reads: every read was served from the local caches —"
+                  " the always-write/avoid-reading principle at work)")
+    return table
+
+
 def human_size(size: int) -> str:
     """Short label for a file size (256K, 1M, 16M…)."""
     if size >= 1024 * 1024:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.baselines.dropbox import DropboxLikeService
+from repro.bench.report import percentile
 from repro.bench.targets import build_target
 from repro.common.errors import FileNotFoundErrorFS, FileSystemError
 from repro.common.types import Permission
@@ -45,14 +46,6 @@ class SharingResult:
     p50: float
     p90: float
     samples: list[float] = field(default_factory=list)
-
-
-def _percentile(samples: list[float], fraction: float) -> float:
-    ordered = sorted(samples)
-    if not ordered:
-        return 0.0
-    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
-    return ordered[index]
 
 
 def _payload(size: int, seed: int) -> bytes:
@@ -107,7 +100,7 @@ def run_sharing_benchmark(variant_name: str, file_size: int, trials: int = 9,
 
     return SharingResult(
         system=variant_name, file_size=file_size,
-        p50=_percentile(samples, 0.50), p90=_percentile(samples, 0.90), samples=samples,
+        p50=percentile(samples, 50), p90=percentile(samples, 90), samples=samples,
     )
 
 
@@ -131,7 +124,7 @@ def run_dropbox_sharing(file_size: int, trials: int = 9, seed: int = 0,
         samples.append(waited if waited != float("inf") else sim.now() - start)
     return SharingResult(
         system="Dropbox", file_size=file_size,
-        p50=_percentile(samples, 0.50), p90=_percentile(samples, 0.90), samples=samples,
+        p50=percentile(samples, 50), p90=percentile(samples, 90), samples=samples,
     )
 
 

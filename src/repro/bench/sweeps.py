@@ -15,12 +15,11 @@ copy files) on SCFS-CoC-NB, the configuration used in §4.4:
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 
 from repro.bench.filebench import MicroBenchmarkParams, copy_files, create_files
 from repro.bench.targets import build_target
-from repro.core.config import CacheConfig, SCFSConfig
+from repro.core.config import CacheConfig
 
 
 @dataclass

@@ -15,6 +15,7 @@ from repro.baselines.s3fs import S3FSLike
 from repro.baselines.s3ql import S3QLLike
 from repro.clouds.providers import make_provider
 from repro.common.types import Principal
+from repro.core.backend import ReadPathStats
 from repro.core.deployment import SCFSDeployment
 from repro.core.modes import VARIANTS
 from repro.simenv.environment import Simulation
@@ -57,6 +58,23 @@ class BenchTarget:
     def is_scfs(self) -> bool:
         """True for SCFS variants, False for the baselines."""
         return self.deployment is not None
+
+    def read_path_stats(self) -> ReadPathStats | None:
+        """Aggregate DepSky read-path statistics across this target's agents.
+
+        Returns ``None`` for targets without a cloud-of-clouds backend (the
+        single-cloud variants and the baselines have no preferred quorum to
+        hit or miss).
+        """
+        if self.deployment is None:
+            return None
+        merged: ReadPathStats | None = None
+        for filesystem in self.deployment.filesystems.values():
+            backend = getattr(getattr(filesystem, "agent", None), "backend", None)
+            paths = getattr(backend, "read_paths", None)
+            if paths is not None:
+                merged = paths if merged is None else merged.merge(paths)
+        return merged
 
 
 def build_target(name: str, seed: int = 0, **scfs_overrides) -> BenchTarget:

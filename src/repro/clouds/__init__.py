@@ -14,10 +14,21 @@ basic access-control lists and (at least) eventual consistency (§2.1,
   used in the paper's evaluation, plus the VM rental prices needed to
   reproduce Figure 11(a);
 * :class:`~repro.clouds.accounting.CostTracker` — accumulates request,
-  traffic and storage charges so the benchmarks can regenerate Figure 11.
+  traffic and storage charges so the benchmarks can regenerate Figure 11;
+* :mod:`~repro.clouds.dispatch` — the quorum dispatch engine modelling truly
+  parallel per-cloud requests (staged fallback, timeouts, retries, hedging)
+  on the simulated timeline, used by the DepSky client for every
+  multi-cloud operation.
 """
 
 from repro.clouds.object_store import ObjectStore, ObjectVersion, ObjectListing
+from repro.clouds.dispatch import (
+    DispatchPolicy,
+    QuorumCall,
+    QuorumCallStats,
+    QuorumRequest,
+    RequestStatus,
+)
 from repro.clouds.eventual import EventuallyConsistentStore
 from repro.clouds.access_control import ObjectACL
 from repro.clouds.pricing import StoragePricing, ComputePricing
@@ -34,6 +45,11 @@ __all__ = [
     "ObjectStore",
     "ObjectVersion",
     "ObjectListing",
+    "DispatchPolicy",
+    "QuorumCall",
+    "QuorumCallStats",
+    "QuorumRequest",
+    "RequestStatus",
     "EventuallyConsistentStore",
     "ObjectACL",
     "StoragePricing",

@@ -1,0 +1,290 @@
+"""Quorum dispatch engine: parallel cloud requests on the simulated timeline.
+
+Every multi-cloud operation of the DepSky protocols — metadata reads, block
+puts with preferred-quorum spill-over, two-phase block fetches, deletes, ACL
+updates — is a *quorum call*: dispatch one request per cloud in parallel and
+return when the *m*-th **successful** response lands.  This module models that
+call shape once, instead of each call site hand-rolling a latency list:
+
+* each request's latency is sampled at dispatch (the moment its stage starts
+  on the virtual timeline), so a stage dispatched later starts later;
+* failures consume time but never occupy quorum slots: the call completes at
+  the *m*-th success, not the *m*-th response;
+* requests honour a per-request ``timeout`` and a bounded number of
+  ``retries`` (each retry re-invokes the request at the time the previous
+  attempt resolved);
+* *staged fallback*: a call may declare fallback stages (e.g. the parity
+  clouds of a preferred-quorum read).  A stage is dispatched only when the
+  rounds before it cannot satisfy the quorum, at the time the triggering
+  round *ended* (its last request resolved) — fallback work is never free;
+* *hedging*: with ``hedge_delay`` set, the next stage is dispatched early —
+  ``hedge_delay`` after the current stage started — whenever the quorum has
+  not been reached by then, which lets backup requests beat a degraded
+  straggler without waiting for it to fail or time out.
+
+The engine runs entirely on the virtual timeline: request side effects
+(``send``) execute immediately against the simulated stores, while the
+*charged* time is derived from the sampled latencies.  Callers advance the
+simulated clock by :attr:`QuorumCallStats.charged` once the call resolves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.common.errors import CloudError
+
+
+class RequestStatus(enum.Enum):
+    """Final state of one dispatched request."""
+
+    #: Successful response, part of the winning quorum.
+    OK = "ok"
+    #: Successful response that landed after the quorum was already complete.
+    LATE = "late"
+    #: Every attempt raised a :class:`~repro.common.errors.CloudError`.
+    FAILED = "failed"
+    #: Every attempt exceeded the per-request timeout and was abandoned.
+    TIMED_OUT = "timed-out"
+
+
+@dataclass(frozen=True)
+class QuorumRequest:
+    """One per-cloud request of a quorum call.
+
+    ``send`` performs the request against the simulated store and returns its
+    value, raising :class:`~repro.common.errors.CloudError` (or a subclass,
+    e.g. an integrity failure) when the response must not count towards the
+    quorum.  ``latency`` samples the wall time of one attempt given the value
+    ``send`` returned (``None`` for a failed attempt, whose latency typically
+    has no payload term).
+    """
+
+    cloud: str
+    send: Callable[[], Any]
+    latency: Callable[[Any | None], float]
+
+
+@dataclass(frozen=True)
+class DispatchPolicy:
+    """Per-call knobs of the dispatch engine.
+
+    Attributes
+    ----------
+    timeout:
+        Abandon any single attempt whose sampled latency exceeds this many
+        seconds (the attempt resolves as a timeout exactly ``timeout`` seconds
+        after dispatch).  ``None`` waits indefinitely.
+    retries:
+        Extra attempts after a failed or timed-out one; each retry re-invokes
+        ``send`` and re-samples the latency at the previous attempt's
+        resolution time.
+    hedge_delay:
+        Dispatch the next fallback stage this many seconds after the current
+        stage started whenever the quorum has not been reached by then
+        (straggler mitigation).  ``None`` disables hedging: fallback stages
+        are dispatched only when the preceding rounds cannot reach quorum.
+    """
+
+    timeout: float | None = None
+    retries: int = 0
+    hedge_delay: float | None = None
+
+
+#: The default policy: no timeouts, no retries, no hedging.
+DEFAULT_POLICY = DispatchPolicy()
+
+
+@dataclass
+class RequestTrace:
+    """Outcome of one request: when it was dispatched, when and how it resolved."""
+
+    cloud: str
+    stage: int
+    dispatched_at: float
+    resolved_at: float
+    status: RequestStatus
+    attempts: int = 1
+    hedged: bool = False
+    value: Any = field(default=None, repr=False)
+
+    @property
+    def succeeded(self) -> bool:
+        """True for any successful response, winning or late."""
+        return self.status in (RequestStatus.OK, RequestStatus.LATE)
+
+
+@dataclass
+class QuorumCallStats:
+    """Everything a caller (or a benchmark report) wants to know about one call."""
+
+    required: int
+    #: Time from call start to the ``required``-th success; ``None`` when the
+    #: quorum was never reached.
+    elapsed: float | None
+    #: Time at which the call gave up: every dispatched request resolved.
+    gave_up_at: float
+    traces: list[RequestTrace]
+    #: Dispatch time of each stage that actually ran (stage 0 is always 0.0).
+    stage_started_at: tuple[float, ...]
+    #: Per dispatched stage: seconds from its dispatch to its last resolution.
+    stage_waits: tuple[float, ...]
+    #: The winning quorum, in completion order.
+    winners: tuple[RequestTrace, ...]
+    #: Number of requests dispatched as hedges (early fallback stages).
+    hedged: int = 0
+
+    @property
+    def charged(self) -> float:
+        """Simulated seconds the caller should charge for this call."""
+        return self.elapsed if self.elapsed is not None else self.gave_up_at
+
+    @property
+    def reached(self) -> bool:
+        """True when the quorum was satisfied."""
+        return self.elapsed is not None
+
+    @property
+    def successes(self) -> list[RequestTrace]:
+        """Every successful response (winners and late arrivals)."""
+        return [t for t in self.traces if t.succeeded]
+
+    @property
+    def winner_clouds(self) -> tuple[str, ...]:
+        """Names of the clouds forming the winning quorum, completion order."""
+        return tuple(t.cloud for t in self.winners)
+
+    @property
+    def preferred_hit(self) -> bool:
+        """True when the whole winning quorum came from stage 0."""
+        return self.reached and all(t.stage == 0 for t in self.winners)
+
+    @property
+    def fallback_dispatched(self) -> bool:
+        """True when any stage beyond the first was dispatched."""
+        return len(self.stage_started_at) > 1
+
+
+class QuorumCall:
+    """Builder/executor for one staged parallel quorum call."""
+
+    def __init__(self, policy: DispatchPolicy | None = None):
+        self.policy = policy or DEFAULT_POLICY
+        self._stages: list[list[QuorumRequest]] = []
+
+    def stage(self, requests: Sequence[QuorumRequest]) -> "QuorumCall":
+        """Append one dispatch round (stage 0 is primary, later ones fallback)."""
+        self._stages.append(list(requests))
+        return self
+
+    # ------------------------------------------------------------------ core
+
+    def _resolve(self, request: QuorumRequest, stage: int, start: float,
+                 hedged: bool) -> RequestTrace:
+        """Run one request (with retries) and place its resolution on the timeline."""
+        policy = self.policy
+        now = start
+        attempts = 0
+        status = RequestStatus.FAILED
+        value: Any = None
+        while attempts <= policy.retries:
+            attempts += 1
+            try:
+                result = request.send()
+                ok = True
+            except CloudError:
+                result = None
+                ok = False
+            latency = max(0.0, request.latency(result))
+            if policy.timeout is not None and latency > policy.timeout:
+                # The response would arrive, but the client abandons the
+                # attempt at the deadline (the side effect may still have
+                # happened server-side, as with a real slow PUT).
+                now += policy.timeout
+                status = RequestStatus.TIMED_OUT
+                ok = False
+            else:
+                now += latency
+                status = RequestStatus.OK if ok else RequestStatus.FAILED
+            if ok:
+                value = result
+                break
+        return RequestTrace(cloud=request.cloud, stage=stage, dispatched_at=start,
+                            resolved_at=now, status=status, attempts=attempts,
+                            hedged=hedged, value=value)
+
+    @staticmethod
+    def _quorum_time(traces: list[RequestTrace], required: int) -> float | None:
+        times = sorted(t.resolved_at for t in traces if t.status is RequestStatus.OK)
+        return times[required - 1] if len(times) >= required else None
+
+    def execute(self, required: int) -> QuorumCallStats:
+        """Dispatch the stages and return the call's statistics.
+
+        Never raises on quorum failure — callers inspect
+        :attr:`QuorumCallStats.reached` and raise their protocol-level error
+        (typically :class:`~repro.common.errors.QuorumNotReachedError`).
+        """
+        if required <= 0:
+            raise ValueError("a quorum call needs required >= 1")
+        if not self._stages or not self._stages[0]:
+            raise ValueError("a quorum call needs at least one non-empty stage")
+        policy = self.policy
+        traces: list[RequestTrace] = []
+        stage_starts: list[float] = []
+        hedged_count = 0
+        for index, requests in enumerate(self._stages):
+            if index == 0:
+                start, hedged = 0.0, False
+            else:
+                quorum_at = self._quorum_time(traces, required)
+                round_end = max(t.resolved_at for t in traces)
+                start, hedged = None, False
+                if quorum_at is None:
+                    # The previous rounds cannot satisfy the quorum: dispatch
+                    # the fallback at the end of the round that triggered it.
+                    start = round_end
+                if policy.hedge_delay is not None:
+                    hedge_at = stage_starts[-1] + policy.hedge_delay
+                    if (quorum_at is None or quorum_at > hedge_at) and (
+                            start is None or hedge_at < start):
+                        start, hedged = hedge_at, True
+                if start is None:
+                    break  # quorum reached fast enough: stage never dispatched
+            stage_starts.append(start)
+            for request in requests:
+                traces.append(self._resolve(request, index, start, hedged))
+            if hedged:
+                hedged_count += len(requests)
+
+        elapsed = self._quorum_time(traces, required)
+        winners: tuple[RequestTrace, ...] = ()
+        if elapsed is not None:
+            ordered = sorted(
+                (t for t in traces if t.status is RequestStatus.OK),
+                key=lambda t: (t.resolved_at, t.dispatched_at),
+            )
+            winners = tuple(ordered[:required])
+            for trace in ordered[required:]:
+                trace.status = RequestStatus.LATE
+        gave_up_at = max(t.resolved_at for t in traces)
+        stage_waits = tuple(
+            max((t.resolved_at for t in traces if t.stage == s), default=start) - start
+            for s, start in enumerate(stage_starts)
+        )
+        return QuorumCallStats(
+            required=required, elapsed=elapsed, gave_up_at=gave_up_at,
+            traces=traces, stage_started_at=tuple(stage_starts),
+            stage_waits=stage_waits, winners=winners, hedged=hedged_count,
+        )
+
+
+def dispatch_quorum(stages: Sequence[Sequence[QuorumRequest]], required: int,
+                    policy: DispatchPolicy | None = None) -> QuorumCallStats:
+    """Convenience wrapper: build a :class:`QuorumCall` from ``stages`` and run it."""
+    call = QuorumCall(policy)
+    for requests in stages:
+        call.stage(requests)
+    return call.execute(required)

@@ -13,8 +13,10 @@ stores circa the paper's evaluation:
 * **Latency charging** — every request advances the shared simulated clock by
   the provider's latency model (base + payload/bandwidth).
 * **ACL enforcement** — per-object grants keyed by canonical identifiers.
-* **Fault injection** — unavailability, corruption, Byzantine responses and
-  dropped writes, driven by a :class:`~repro.simenv.failures.FailureSchedule`.
+* **Fault injection** — unavailability, corruption, Byzantine responses,
+  dropped writes and latency degradation (a DEGRADED window multiplies every
+  request's latency, modelling a gray-failing straggler), driven by a
+  :class:`~repro.simenv.failures.FailureSchedule`.
 * **Cost accounting** — all requests, traffic and storage are recorded in a
   :class:`~repro.clouds.accounting.CostTracker`.
 """
@@ -107,9 +109,25 @@ class EventuallyConsistentStore(ObjectStore):
 
     def _charge(self, model, payload: int = 0) -> float:
         latency = model.sample(payload, self.sim.rng)
+        latency *= self.failures.degradation(self.sim.now())
         if self.charge_latency:
             self.sim.advance(latency)
         return latency
+
+    def request_latency(self, kind: str, payload: int = 0) -> float:
+        """Sample the latency of one ``kind`` request moving ``payload`` bytes.
+
+        Used by the quorum dispatch engine, which models the parallel requests
+        of a cloud-of-clouds client itself (the stores are then created with
+        ``charge_latency=False``).  Applies any active DEGRADED fault window.
+        """
+        model = getattr(self.profile, kind)
+        return model.sample(payload, self.sim.rng) * self.failures.degradation(self.sim.now())
+
+    def expected_request_latency(self, kind: str, payload: int = 0) -> float:
+        """Deterministic expected latency of one ``kind`` request (no RNG draw)."""
+        model = getattr(self.profile, kind)
+        return model.expected(payload) * self.failures.degradation(self.sim.now())
 
     def _fail_if_unavailable(self) -> None:
         if self.failures.is_active(FaultKind.UNAVAILABLE, self.sim.now()):

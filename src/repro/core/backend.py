@@ -20,14 +20,63 @@ from __future__ import annotations
 
 import abc
 import contextlib
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.common.errors import ObjectNotFoundError
 from repro.common.types import ObjectRef, Permission, Principal
+from repro.clouds.dispatch import DispatchPolicy, QuorumCall, QuorumRequest
 from repro.clouds.eventual import EventuallyConsistentStore
 from repro.crypto.hashing import content_digest
-from repro.depsky.protocol import DepSkyClient
+from repro.depsky.protocol import DepSkyClient, DepSkyReadResult
 from repro.simenv.environment import Simulation
+
+
+@dataclass
+class ReadPathStats:
+    """Which decode path served the cloud reads of a CoC backend.
+
+    Aggregated per backend (one per agent) and summed across agents by the
+    benchmark reports: the preferred-quorum hit rate under fault injection is
+    the figure the ROADMAP asked to surface.
+    """
+
+    systematic: int = 0
+    coded: int = 0
+    #: Reads whose block fetch dispatched the parity fallback stage.
+    fallback_reads: int = 0
+    #: Backup requests dispatched as hedges across all reads.
+    hedged_requests: int = 0
+
+    @property
+    def total(self) -> int:
+        """Number of cloud reads recorded."""
+        return self.systematic + self.coded
+
+    @property
+    def systematic_rate(self) -> float:
+        """Fraction of cloud reads served by the systematic (preferred) path."""
+        return self.systematic / self.total if self.total else 0.0
+
+    def record(self, result: DepSkyReadResult) -> None:
+        """Account one DepSky read result."""
+        if result.path == "systematic":
+            self.systematic += 1
+        else:
+            self.coded += 1
+        if result.stats is not None:
+            if result.stats.fallback_dispatched:
+                self.fallback_reads += 1
+            self.hedged_requests += result.stats.hedged
+
+    def merge(self, other: "ReadPathStats") -> "ReadPathStats":
+        """Return the sum of two accumulators (used to aggregate across agents)."""
+        return ReadPathStats(
+            systematic=self.systematic + other.systematic,
+            coded=self.coded + other.coded,
+            fallback_reads=self.fallback_reads + other.fallback_reads,
+            hedged_requests=self.hedged_requests + other.hedged_requests,
+        )
 
 
 class StorageBackend(abc.ABC):
@@ -153,10 +202,12 @@ class SingleCloudBackend(StorageBackend):
             self.store.delete(key, self.principal)
 
     def estimate_write_latency(self, num_bytes: int) -> float:
-        return self.store.profile.object_put.sample(num_bytes)
+        # Deterministic expectation: estimates must not consume RNG draws (and
+        # previously dropped the jitter term silently by passing no RNG).
+        return self.store.expected_request_latency("object_put", num_bytes)
 
     def estimate_read_latency(self, num_bytes: int) -> float:
-        return self.store.profile.object_get.sample(num_bytes)
+        return self.store.expected_request_latency("object_get", num_bytes)
 
     def stored_bytes(self, file_id: str) -> int:
         return self.store.list_keys(self._prefix(file_id), self.principal).total_bytes
@@ -184,13 +235,16 @@ class CloudOfCloudsBackend(StorageBackend):
         principal: Principal,
         f: int = 1,
         encrypt: bool = True,
+        policy: DispatchPolicy | None = None,
     ):
         self.sim = sim
         self.principal = principal
         self.client = DepSkyClient(
-            sim, clouds, principal, f=f, encrypt=encrypt, preferred_quorums=True
+            sim, clouds, principal, f=f, encrypt=encrypt, preferred_quorums=True,
+            policy=policy,
         )
         self.name = f"cloud-of-clouds(f={f}, n={self.client.n})"
+        self.read_paths = ReadPathStats()
 
     # -- StorageBackend ----------------------------------------------------------
 
@@ -200,6 +254,7 @@ class CloudOfCloudsBackend(StorageBackend):
 
     def read_version(self, file_id: str, digest: str) -> bytes:
         result = self.client.read_matching(file_id, digest)
+        self.read_paths.record(result)
         return result.data
 
     def delete_version(self, file_id: str, digest: str) -> None:
@@ -218,36 +273,41 @@ class CloudOfCloudsBackend(StorageBackend):
     def destroy(self, file_id: str) -> None:
         self.client.destroy_unit(file_id)
 
+    def _expected_quorum(self, clouds: list[EventuallyConsistentStore], kind: str,
+                         payload: int, required: int) -> float:
+        """Expected wait of one quorum stage, computed by the dispatch engine.
+
+        The requests carry deterministic expected latencies (no RNG draws, so
+        estimating never perturbs the simulation's random stream) and no side
+        effects; the engine's m-th-success semantics do the rest.
+        """
+        requests = [
+            QuorumRequest(
+                cloud=cloud.name,
+                send=lambda: None,
+                latency=lambda _value, cloud=cloud: cloud.expected_request_latency(kind, payload),
+            )
+            for cloud in clouds
+        ]
+        return QuorumCall(self.client.policy).stage(requests).execute(required=required).charged
+
     def estimate_write_latency(self, num_bytes: int) -> float:
         client = self.client
         block_bytes = client.coder.block_size(num_bytes + 64)
         quorum = client.n - client.f
-        meta_reads = sorted(
-            c.profile.object_get.sample(512, self.sim.rng) for c in client.clouds
-        )
-        block_puts = sorted(
-            c.profile.object_put.sample(block_bytes, self.sim.rng)
-            for c in client.clouds[:quorum]
-        )
-        meta_puts = sorted(
-            c.profile.object_put.sample(1024, self.sim.rng) for c in client.clouds
-        )
         return (
-            meta_reads[min(client.k, len(meta_reads)) - 1]
-            + block_puts[min(quorum, len(block_puts)) - 1]
-            + meta_puts[min(quorum, len(meta_puts)) - 1]
+            self._expected_quorum(client.clouds, "object_get", 512, client.k)
+            + self._expected_quorum(client.clouds[:quorum], "object_put", block_bytes, quorum)
+            + self._expected_quorum(client.clouds, "object_put", 1024, quorum)
         )
 
     def estimate_read_latency(self, num_bytes: int) -> float:
         client = self.client
         block_bytes = client.coder.block_size(num_bytes + 64)
-        meta_reads = sorted(
-            c.profile.object_get.sample(1024, self.sim.rng) for c in client.clouds
+        return (
+            self._expected_quorum(client.clouds, "object_get", 1024, client.k)
+            + self._expected_quorum(client.clouds[:client.k], "object_get", block_bytes, client.k)
         )
-        block_reads = sorted(
-            c.profile.object_get.sample(block_bytes, self.sim.rng) for c in client.clouds
-        )
-        return meta_reads[client.k - 1] + block_reads[client.k - 1]
 
     def stored_bytes(self, file_id: str) -> int:
         return self.client.stored_bytes(file_id)

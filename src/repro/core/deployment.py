@@ -25,7 +25,7 @@ from repro.core.agent import SCFSAgent
 from repro.core.backend import CloudOfCloudsBackend, SingleCloudBackend, StorageBackend
 from repro.core.config import SCFSConfig
 from repro.core.filesystem import SCFSFileSystem
-from repro.core.modes import BackendKind, OperationMode
+from repro.core.modes import BackendKind
 from repro.simenv.environment import Simulation
 from repro.simenv.latency import LatencyModel
 

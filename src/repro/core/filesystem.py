@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from repro.common.types import Permission
 from repro.core.agent import OpenFlags, SCFSAgent
 from repro.core.metadata import FileMetadata
-from repro.core.modes import BackendKind, OperationMode
+from repro.core.modes import BackendKind
 
 
 class DurabilityLevel(enum.IntEnum):

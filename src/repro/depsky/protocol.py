@@ -24,9 +24,31 @@ of the latest version.
 Latency model
 -------------
 The clouds of a CoC backend are created with ``charge_latency=False`` because
-DepSky accesses them *in parallel*; the client charges the simulated clock the
-latency of the slowest response within the quorum it waits for (per protocol
-stage), which is how the real system's latency behaves.
+DepSky accesses them *in parallel*.  Every multi-cloud operation is executed
+through the quorum dispatch engine
+(:class:`~repro.clouds.dispatch.QuorumCall`), which models the parallel
+requests on a virtual timeline and resolves when the *m*-th **successful**
+response lands; the client then advances the simulated clock by exactly that
+wait.  The stage semantics are:
+
+* stage 0 dispatches at the call's start — the preferred/systematic clouds of
+  a read, the ``n - f`` preferred clouds of a write;
+* a fallback stage (parity clouds of a read, spill-over clouds of a write)
+  dispatches at the *end of the round that triggered it* — the instant the
+  previous round's last request resolved without satisfying the quorum — so
+  degraded-mode operations are strictly slower than fault-free ones;
+* failed, timed-out and Byzantine responses consume time but never occupy
+  quorum slots;
+* an optional :class:`~repro.clouds.dispatch.DispatchPolicy` adds per-request
+  timeouts, bounded retries and *hedging*: dispatching the fallback stage
+  ``hedge_delay`` seconds after the current stage started whenever the quorum
+  has not been reached by then, which lets backup requests beat a DEGRADED
+  straggler.
+
+Each operation's :class:`~repro.clouds.dispatch.QuorumCallStats` (per-cloud
+outcome, per-stage wait, winner set) is threaded into
+:class:`DepSkyReadResult` and, through the storage backend, into the
+benchmark reports.
 """
 
 from __future__ import annotations
@@ -41,6 +63,12 @@ from repro.common.errors import (
     QuorumNotReachedError,
 )
 from repro.common.types import Permission, Principal
+from repro.clouds.dispatch import (
+    DispatchPolicy,
+    QuorumCall,
+    QuorumCallStats,
+    QuorumRequest,
+)
 from repro.clouds.object_store import ObjectStore
 from repro.crypto.cipher import SymmetricCipher, generate_key
 from repro.crypto.erasure import CodedBlock, ErasureCoder
@@ -61,7 +89,11 @@ class DepSkyReadResult:
     the ``k`` systematic blocks were fetched from the preferred clouds (decode
     is a pure concatenation), ``"coded"`` when at least one parity block had
     to be fetched and a cached decode matrix was applied.  ``block_indices``
-    lists the erasure-code rows actually used, in fetch order.
+    lists the erasure-code rows actually used, in row order.  ``stats`` and
+    ``meta_stats`` carry the dispatch-engine statistics of the block-fetch and
+    metadata-read quorum calls (per-cloud outcome, per-stage wait, winner
+    set), which the benchmark reports aggregate into preferred-quorum hit
+    rates and hedging effectiveness.
     """
 
     data: bytes
@@ -69,6 +101,8 @@ class DepSkyReadResult:
     clouds_used: list[str] = field(default_factory=list)
     path: str = "systematic"
     block_indices: tuple[int, ...] = ()
+    stats: QuorumCallStats | None = None
+    meta_stats: QuorumCallStats | None = None
 
 
 class DepSkyClient:
@@ -96,6 +130,10 @@ class DepSkyClient:
     charge_latency:
         Charge quorum latencies to the simulated clock (disable only in unit
         tests that assert on pure protocol behaviour).
+    policy:
+        Dispatch policy applied to every quorum call of this client —
+        per-request timeout, bounded retries and hedged fallback dispatch.
+        Defaults to plain staged dispatch (no timeouts, no hedging).
     """
 
     def __init__(
@@ -107,6 +145,7 @@ class DepSkyClient:
         encrypt: bool = True,
         preferred_quorums: bool = True,
         charge_latency: bool = True,
+        policy: DispatchPolicy | None = None,
     ):
         if f < 0:
             raise ValueError("f must be non-negative")
@@ -121,6 +160,7 @@ class DepSkyClient:
         self.encrypt = encrypt
         self.preferred_quorums = preferred_quorums
         self.charge_latency = charge_latency
+        self.policy = policy
         self.coder = ErasureCoder(n=self.n, k=self.k)
 
     # ------------------------------------------------------------------ keys
@@ -138,44 +178,85 @@ class DepSkyClient:
         """Cloud key prefix holding every object of the data unit."""
         return f"depsky/{unit_id}/"
 
-    # --------------------------------------------------------------- latency
+    # --------------------------------------------------------------- dispatch
 
-    def _charge_quorum(self, latencies: list[float], need: int) -> None:
-        """Advance the clock by the ``need``-th fastest of parallel requests."""
-        if not self.charge_latency or not latencies or need <= 0:
-            return
-        ordered = sorted(latencies)
-        index = min(need, len(ordered)) - 1
-        self.sim.advance(ordered[index])
+    def _charge(self, stats: QuorumCallStats) -> None:
+        """Advance the clock by the simulated wait of one quorum call."""
+        if self.charge_latency and stats.charged > 0:
+            self.sim.advance(stats.charged)
 
-    def _sample(self, cloud: ObjectStore, kind: str, payload: int) -> float:
+    def _request_latency(self, cloud: ObjectStore, kind: str, payload: int) -> float:
+        """Sample one request's latency against ``cloud`` (degradation-aware)."""
+        sampler = getattr(cloud, "request_latency", None)
+        if sampler is not None:
+            return sampler(kind, payload)
         profile = getattr(cloud, "profile", None)
         if profile is None:
             return 0.0
-        model = getattr(profile, kind)
-        return model.sample(payload, self.sim.rng)
+        return getattr(profile, kind).sample(payload, self.sim.rng)
+
+    def _call(self) -> QuorumCall:
+        return QuorumCall(self.policy)
+
+    def _get_request(self, cloud: ObjectStore, key: str, parse) -> QuorumRequest:
+        """Build a GET request whose response must ``parse`` to count as a success.
+
+        ``parse(blob)`` returns the request value or raises a
+        :class:`~repro.common.errors.CloudError` subclass (Byzantine or
+        corrupted responses fail their integrity check and therefore consume
+        time without occupying a quorum slot).  The sampled latency always
+        reflects the bytes actually transferred: a corrupted 1 MB block costs
+        its full download time even though it fails verification, while a
+        request the cloud rejected outright only costs the round trip.
+        """
+        transferred = [0]
+
+        def send():
+            transferred[0] = 0
+            blob = cloud.get(key, self.principal)
+            transferred[0] = len(blob)
+            return parse(blob), len(blob)
+
+        def latency(_value):
+            return self._request_latency(cloud, "object_get", transferred[0])
+
+        return QuorumRequest(cloud=cloud.name, send=send, latency=latency)
+
+    def _put_request(self, cloud: ObjectStore, key: str, blob: bytes) -> QuorumRequest:
+        def send():
+            cloud.put(key, blob, self.principal)
+            return True
+
+        def latency(_value):
+            return self._request_latency(cloud, "object_put", len(blob))
+
+        return QuorumRequest(cloud=cloud.name, send=send, latency=latency)
 
     # -------------------------------------------------------------- metadata
 
-    def _read_metadata(self, unit_id: str) -> tuple[DataUnitMetadata | None, list[float]]:
-        """Read every reachable cloud's metadata copy.
+    def _read_metadata(self, unit_id: str) -> tuple[DataUnitMetadata | None, QuorumCallStats]:
+        """Read the clouds' metadata copies through one quorum call.
 
         Returns the *agreed* metadata — the copy containing the highest version
         number confirmed by at least ``f+1`` clouds (or any self-consistent
-        copy when fewer exist yet) — plus the per-cloud latencies sampled.
+        copy when fewer exist yet) — plus the call's dispatch statistics.  The
+        charged wait is the ``k``-th successful response; late copies still
+        participate in the agreement (they model responses that trickle in
+        while the client already proceeds).
         """
-        copies: list[DataUnitMetadata] = []
-        latencies: list[float] = []
-        for cloud in self.clouds:
+        key = self._meta_key(unit_id)
+
+        def parse(blob: bytes) -> DataUnitMetadata:
             try:
-                blob = cloud.get(self._meta_key(unit_id), self.principal)
-                latencies.append(self._sample(cloud, "object_get", len(blob)))
-                copies.append(DataUnitMetadata.from_bytes(blob))
-            except (CloudError, ValueError):
-                latencies.append(self._sample(cloud, "object_get", 0))
-                continue
+                return DataUnitMetadata.from_bytes(blob)
+            except ValueError as exc:
+                raise IntegrityError(f"unparseable metadata copy of {unit_id!r}") from exc
+
+        call = self._call().stage([self._get_request(c, key, parse) for c in self.clouds])
+        stats = call.execute(required=self.k)
+        copies = [trace.value[0] for trace in stats.successes]
         if not copies:
-            return None, latencies
+            return None, stats
         # Count confirmations of each (version, digest) pair across clouds.
         confirmations: dict[tuple[int, str], int] = {}
         for copy in copies:
@@ -192,7 +273,7 @@ class DepSkyClient:
             pair = (latest.version, latest.data_digest)
             if (pair in agreed_pairs or len(copies) < self.k) and latest.version > best_version:
                 best, best_version = copy, latest.version
-        return best or copies[0], latencies
+        return best or copies[0], stats
 
     # ------------------------------------------------------------------ write
 
@@ -202,8 +283,8 @@ class DepSkyClient:
         Returns the version record (whose ``data_digest`` the SCFS metadata
         service will anchor in the coordination service).
         """
-        metadata, meta_latencies = self._read_metadata(unit_id)
-        self._charge_quorum(meta_latencies, self.k)
+        metadata, meta_stats = self._read_metadata(unit_id)
+        self._charge(meta_stats)
         if metadata is None:
             metadata = DataUnitMetadata(unit_id=unit_id)
         version = metadata.next_version()
@@ -228,106 +309,105 @@ class DepSkyClient:
         metadata.add(record)
         meta_blob = metadata.to_bytes()
 
-        data_targets = self.n - self.f if self.preferred_quorums else self.n
-        put_latencies: list[float] = []
-        acks = 0
-        for index, cloud in enumerate(self.clouds):
-            if acks >= data_targets:
-                # Preferred quorum reached: the remaining clouds receive no data
-                # blocks, which is where the ~1.5x storage factor of Figure 11(c)
-                # comes from.  A failed preferred cloud spills over to the next.
-                break
+        def block_put(index: int) -> QuorumRequest:
+            cloud = self.clouds[index]
+            key = self._block_key(unit_id, version, index)
             share = shares[index] if shares is not None else SecretShare(x=index + 1, data=b"")
-            blob = _BLOCK_HEADER.pack(share.x, len(share.data)) + share.data + blocks[index].payload
-            try:
-                cloud.put(self._block_key(unit_id, version, index), blob, self.principal)
-                put_latencies.append(self._sample(cloud, "object_put", len(blob)))
-                acks += 1
-            except CloudError:
-                put_latencies.append(self._sample(cloud, "object_put", len(blob)))
-                continue
-        required_acks = min(self.n - self.f, data_targets)
-        if acks < required_acks:
-            raise QuorumNotReachedError(
-                f"only {acks} clouds acknowledged the data blocks of {unit_id!r}",
-                responses=acks, required=required_acks,
-            )
-        self._charge_quorum(put_latencies, required_acks)
+            blob_len = _BLOCK_HEADER.size + len(share.data) + len(blocks[index].payload)
 
-        meta_latencies = []
-        meta_acks = 0
-        for cloud in self.clouds:
-            try:
-                cloud.put(self._meta_key(unit_id), meta_blob, self.principal)
-                meta_latencies.append(self._sample(cloud, "object_put", len(meta_blob)))
-                meta_acks += 1
-            except CloudError:
-                meta_latencies.append(self._sample(cloud, "object_put", len(meta_blob)))
-                continue
-        if meta_acks < self.n - self.f:
+            # The blob is concatenated inside ``send`` so that fallback-stage
+            # requests that are never dispatched never pay the block-sized copy.
+            def send():
+                blob = _BLOCK_HEADER.pack(share.x, len(share.data)) + share.data + blocks[index].payload
+                cloud.put(key, blob, self.principal)
+                return True
+
+            def latency(_value):
+                return self._request_latency(cloud, "object_put", blob_len)
+
+            return QuorumRequest(cloud=cloud.name, send=send, latency=latency)
+
+        # Preferred quorum: only the first n - f clouds receive data blocks,
+        # which is where the ~1.5x storage factor of Figure 11(c) comes from.
+        # The remaining clouds form a fallback stage, dispatched only when a
+        # preferred cloud fails (or a hedge fires): the spill-over.
+        data_targets = self.n - self.f if self.preferred_quorums else self.n
+        required_acks = self.n - self.f
+        call = self._call().stage([block_put(i) for i in range(data_targets)])
+        if data_targets < self.n:
+            call.stage([block_put(i) for i in range(data_targets, self.n)])
+        put_stats = call.execute(required=required_acks)
+        if not put_stats.reached:
             raise QuorumNotReachedError(
-                f"only {meta_acks} clouds acknowledged the metadata of {unit_id!r}",
-                responses=meta_acks, required=self.n - self.f,
+                f"only {len(put_stats.successes)} clouds acknowledged the data blocks of {unit_id!r}",
+                responses=len(put_stats.successes), required=required_acks,
             )
-        self._charge_quorum(meta_latencies, self.n - self.f)
+        self._charge(put_stats)
+
+        meta_call = self._call().stage(
+            [self._put_request(c, self._meta_key(unit_id), meta_blob) for c in self.clouds]
+        )
+        meta_put_stats = meta_call.execute(required=self.n - self.f)
+        if not meta_put_stats.reached:
+            raise QuorumNotReachedError(
+                f"only {len(meta_put_stats.successes)} clouds acknowledged the metadata of {unit_id!r}",
+                responses=len(meta_put_stats.successes), required=self.n - self.f,
+            )
+        self._charge(meta_put_stats)
         return record
 
     # ------------------------------------------------------------------- read
 
-    def _fetch_one_block(self, unit_id: str, record: VersionRecord, index: int,
-                         blocks: list[CodedBlock], shares: list[SecretShare],
-                         used: list[str], latencies: list[float]) -> None:
-        """Try to fetch and verify block ``index``; append to the accumulators."""
+    def _block_get_request(self, unit_id: str, record: VersionRecord, index: int) -> QuorumRequest:
+        """Fetch-and-verify request for block ``index`` of one version."""
         cloud = self.clouds[index]
         key = self._block_key(unit_id, record.version, index)
-        try:
-            blob = cloud.get(key, self.principal)
-        except CloudError:
-            latencies.append(self._sample(cloud, "object_get", 0))
-            return
-        latencies.append(self._sample(cloud, "object_get", len(blob)))
-        if len(blob) < _BLOCK_HEADER.size:
-            return
-        x, share_len = _BLOCK_HEADER.unpack_from(blob)
-        share_data = blob[_BLOCK_HEADER.size:_BLOCK_HEADER.size + share_len]
-        payload = blob[_BLOCK_HEADER.size + share_len:]
-        if index < len(record.block_digests) and content_digest(payload) != record.block_digests[index]:
-            # Corrupted or Byzantine answer — ignore this cloud's block.
-            return
-        blocks.append(CodedBlock(index=index, payload=payload))
-        shares.append(SecretShare(x=x, data=share_data))
-        used.append(cloud.name)
 
-    def _fetch_blocks(self, unit_id: str, record: VersionRecord) -> tuple[list[CodedBlock], list[SecretShare], list[str], list[float]]:
+        def parse(blob: bytes) -> tuple[CodedBlock, SecretShare]:
+            if len(blob) < _BLOCK_HEADER.size:
+                raise IntegrityError(f"truncated block object {key!r} from {cloud.name}")
+            x, share_len = _BLOCK_HEADER.unpack_from(blob)
+            share_data = blob[_BLOCK_HEADER.size:_BLOCK_HEADER.size + share_len]
+            payload = blob[_BLOCK_HEADER.size + share_len:]
+            if index < len(record.block_digests) and content_digest(payload) != record.block_digests[index]:
+                # Corrupted or Byzantine answer — this cloud's block does not
+                # count towards the quorum (but its fetch still took time).
+                raise IntegrityError(f"block {index} of {unit_id!r} failed its digest check at {cloud.name}")
+            return CodedBlock(index=index, payload=payload), SecretShare(x=x, data=share_data)
+
+        return self._get_request(cloud, key, parse)
+
+    def _fetch_blocks(self, unit_id: str, record: VersionRecord) -> QuorumCallStats:
         """Fetch ``k`` verified blocks, preferring the systematic clouds.
 
-        Phase 1 asks the first ``k`` clouds, which hold the *systematic*
+        Stage 0 asks the first ``k`` clouds, which hold the *systematic*
         blocks: if they all answer correctly the decode is a plain
-        concatenation (the preferred-quorum read of the DepSky paper).  Only
-        when some of them fail does phase 2 fall back to the clouds holding
-        parity blocks, which cost a matrix multiplication to decode.
+        concatenation (the preferred-quorum read of the DepSky paper).  The
+        clouds holding parity blocks form the fallback stage, dispatched when
+        the preferred round cannot deliver ``k`` verified blocks — or earlier,
+        as hedged backup requests, when the policy sets a ``hedge_delay``.
         """
-        blocks: list[CodedBlock] = []
-        shares: list[SecretShare] = []
-        used: list[str] = []
-        latencies: list[float] = []
-        for index in range(self.k):
-            self._fetch_one_block(unit_id, record, index, blocks, shares, used, latencies)
-        if len(blocks) < self.k:
-            for index in range(self.k, self.n):
-                if len(blocks) >= self.k:
-                    break
-                self._fetch_one_block(unit_id, record, index, blocks, shares, used, latencies)
-        return blocks, shares, used, latencies
+        call = self._call().stage(
+            [self._block_get_request(unit_id, record, i) for i in range(self.k)]
+        )
+        if self.k < self.n:
+            call.stage([self._block_get_request(unit_id, record, i) for i in range(self.k, self.n)])
+        return call.execute(required=self.k)
 
-    def _assemble(self, unit_id: str, record: VersionRecord) -> DepSkyReadResult:
-        blocks, shares, used, latencies = self._fetch_blocks(unit_id, record)
-        self._charge_quorum(latencies, self.k)
-        if len(blocks) < self.k:
+    def _assemble(self, unit_id: str, record: VersionRecord,
+                  meta_stats: QuorumCallStats | None = None) -> DepSkyReadResult:
+        stats = self._fetch_blocks(unit_id, record)
+        self._charge(stats)
+        if not stats.reached:
             raise QuorumNotReachedError(
                 f"could not gather {self.k} valid blocks of {unit_id!r} v{record.version}",
-                responses=len(blocks), required=self.k,
+                responses=len(stats.successes), required=self.k,
             )
+        # Winners land in completion order; decode and report in row order.
+        winners = sorted(stats.winners, key=lambda trace: trace.value[0][0].index)
+        blocks = [trace.value[0][0] for trace in winners]
+        shares = [trace.value[0][1] for trace in winners]
+        used = [trace.cloud for trace in winners]
         payload = self.coder.decode(blocks)
         if self.encrypt:
             key = combine_secret(shares, self.k)
@@ -339,15 +419,16 @@ class DepSkyClient:
         indices = tuple(b.index for b in blocks)
         path = "systematic" if all(i < self.k for i in indices) else "coded"
         return DepSkyReadResult(data=payload, record=record, clouds_used=used,
-                                path=path, block_indices=indices)
+                                path=path, block_indices=indices,
+                                stats=stats, meta_stats=meta_stats)
 
     def read_latest(self, unit_id: str) -> DepSkyReadResult:
         """Read the most recent version of ``unit_id`` (classic DepSky read)."""
-        metadata, latencies = self._read_metadata(unit_id)
-        self._charge_quorum(latencies, self.k)
+        metadata, meta_stats = self._read_metadata(unit_id)
+        self._charge(meta_stats)
         if metadata is None or metadata.latest() is None:
             raise ObjectNotFoundError(f"data unit {unit_id!r} has no visible version")
-        return self._assemble(unit_id, metadata.latest())
+        return self._assemble(unit_id, metadata.latest(), meta_stats)
 
     def read_matching(self, unit_id: str, digest: str) -> DepSkyReadResult:
         """Read the version of ``unit_id`` whose plaintext digest is ``digest``.
@@ -359,8 +440,8 @@ class DepSkyClient:
         copy listing the requested digest — the caller retries, implementing
         the ``do ... while`` loop of Figure 3.
         """
-        metadata, latencies = self._read_metadata(unit_id)
-        self._charge_quorum(latencies, self.k)
+        metadata, meta_stats = self._read_metadata(unit_id)
+        self._charge(meta_stats)
         record = metadata.find_by_digest(digest) if metadata is not None else None
         if record is None:
             # Fall back to scanning every copy (a lagging majority may not list
@@ -370,7 +451,7 @@ class DepSkyClient:
             raise ObjectNotFoundError(
                 f"no cloud lists a version of {unit_id!r} with digest {digest[:12]}…"
             )
-        return self._assemble(unit_id, record)
+        return self._assemble(unit_id, record, meta_stats)
 
     def _find_digest_any_copy(self, unit_id: str, digest: str) -> VersionRecord | None:
         for cloud in self.clouds:
@@ -388,35 +469,42 @@ class DepSkyClient:
 
     def list_versions(self, unit_id: str) -> list[VersionRecord]:
         """Return the agreed version history of ``unit_id`` (empty if unknown)."""
-        metadata, latencies = self._read_metadata(unit_id)
-        self._charge_quorum(latencies, self.k)
+        metadata, meta_stats = self._read_metadata(unit_id)
+        self._charge(meta_stats)
         return list(metadata.versions) if metadata is not None else []
 
     def delete_version(self, unit_id: str, version: int) -> None:
         """Delete the blocks of one version from every cloud and update metadata.
 
-        Used by the SCFS garbage collector (§2.5.3).
+        Used by the SCFS garbage collector (§2.5.3).  Deletes are best-effort:
+        an unreachable cloud keeps its (orphaned) block, so the call charges
+        the quorum wait but never raises.
         """
-        metadata, latencies = self._read_metadata(unit_id)
-        self._charge_quorum(latencies, self.k)
-        delete_latencies: list[float] = []
-        for index, cloud in enumerate(self.clouds):
-            try:
+        metadata, meta_stats = self._read_metadata(unit_id)
+        self._charge(meta_stats)
+
+        def delete_request(index: int) -> QuorumRequest:
+            cloud = self.clouds[index]
+
+            def send():
                 cloud.delete(self._block_key(unit_id, version, index), self.principal)
-            except CloudError:
-                pass
-            delete_latencies.append(self._sample(cloud, "object_delete", 0))
-        self._charge_quorum(delete_latencies, self.n - self.f)
+                return True
+
+            def latency(_value):
+                return self._request_latency(cloud, "object_delete", 0)
+
+            return QuorumRequest(cloud=cloud.name, send=send, latency=latency)
+
+        delete_stats = self._call().stage(
+            [delete_request(i) for i in range(self.n)]
+        ).execute(required=self.n - self.f)
+        self._charge(delete_stats)
         if metadata is not None and metadata.remove_version(version):
             blob = metadata.to_bytes()
-            put_latencies = []
-            for cloud in self.clouds:
-                try:
-                    cloud.put(self._meta_key(unit_id), blob, self.principal)
-                except CloudError:
-                    pass
-                put_latencies.append(self._sample(cloud, "object_put", len(blob)))
-            self._charge_quorum(put_latencies, self.n - self.f)
+            put_stats = self._call().stage(
+                [self._put_request(c, self._meta_key(unit_id), blob) for c in self.clouds]
+            ).execute(required=self.n - self.f)
+            self._charge(put_stats)
 
     def destroy_unit(self, unit_id: str) -> None:
         """Remove every object of the data unit from every cloud."""
@@ -435,20 +523,28 @@ class DepSkyClient:
         Uses one prefix (bucket-policy) grant per cloud so that future versions
         are covered too — the cloud-side half of SCFS's ``setfacl`` (§2.6).
         """
-        latencies = []
-        for cloud in self.clouds:
+
+        def acl_request(cloud: ObjectStore) -> QuorumRequest:
             canonical = grantee.canonical_id(cloud.name)
-            set_policy = getattr(cloud, "set_bucket_policy", None)
-            try:
+
+            def send():
+                set_policy = getattr(cloud, "set_bucket_policy", None)
                 if set_policy is not None:
                     set_policy(self.unit_prefix(unit_id), canonical, permission, self.principal)
                 else:  # pragma: no cover - only for exotic ObjectStore impls
                     for key in cloud.list_keys(self.unit_prefix(unit_id), self.principal).keys:
                         cloud.set_acl(key, canonical, permission, self.principal)
-            except CloudError:
-                pass
-            latencies.append(self._sample(cloud, "metadata_op", 0))
-        self._charge_quorum(latencies, self.n - self.f)
+                return True
+
+            def latency(_value):
+                return self._request_latency(cloud, "metadata_op", 0)
+
+            return QuorumRequest(cloud=cloud.name, send=send, latency=latency)
+
+        stats = self._call().stage(
+            [acl_request(c) for c in self.clouds]
+        ).execute(required=self.n - self.f)
+        self._charge(stats)
 
     def stored_bytes(self, unit_id: str) -> int:
         """Total bytes stored for ``unit_id`` across all clouds (cost analysis)."""

@@ -25,15 +25,23 @@ class FaultKind(enum.Enum):
     BYZANTINE = "byzantine"
     #: Writes are silently dropped (acknowledged but not stored).
     DROP_WRITES = "drop_writes"
+    #: The provider answers correctly but slowly: every request's latency is
+    #: multiplied by the window's ``factor`` (a gray failure / straggler).
+    DEGRADED = "degraded"
 
 
 @dataclass(frozen=True)
 class FaultWindow:
-    """A single fault active on ``[start, end)`` of simulated time."""
+    """A single fault active on ``[start, end)`` of simulated time.
+
+    ``factor`` is the latency multiplier of a :attr:`FaultKind.DEGRADED`
+    window (ignored by the other fault kinds).
+    """
 
     kind: FaultKind
     start: float = 0.0
     end: float = float("inf")
+    factor: float = 1.0
 
     def active_at(self, now: float) -> bool:
         """True if this fault window covers simulated instant ``now``."""
@@ -46,9 +54,16 @@ class FailureSchedule:
 
     windows: list[FaultWindow] = field(default_factory=list)
 
-    def add(self, kind: FaultKind, start: float = 0.0, end: float = float("inf")) -> None:
-        """Schedule ``kind`` to be active on ``[start, end)``."""
-        self.windows.append(FaultWindow(kind, start, end))
+    def add(self, kind: FaultKind, start: float = 0.0, end: float = float("inf"),
+            factor: float = 1.0) -> None:
+        """Schedule ``kind`` to be active on ``[start, end)``.
+
+        ``factor`` sets the latency multiplier of a
+        :attr:`FaultKind.DEGRADED` window; other kinds ignore it.
+        """
+        if kind is FaultKind.DEGRADED and factor <= 0:
+            raise ValueError("a DEGRADED window needs a positive latency factor")
+        self.windows.append(FaultWindow(kind, start, end, factor))
 
     def clear(self) -> None:
         """Remove all scheduled faults."""
@@ -61,3 +76,14 @@ class FailureSchedule:
     def is_active(self, kind: FaultKind, now: float) -> bool:
         """True if ``kind`` is active at ``now``."""
         return any(w.kind is kind and w.active_at(now) for w in self.windows)
+
+    def degradation(self, now: float) -> float:
+        """Combined latency multiplier of the DEGRADED windows active at ``now``.
+
+        Returns 1.0 when none is active; overlapping windows compound.
+        """
+        factor = 1.0
+        for window in self.windows:
+            if window.kind is FaultKind.DEGRADED and window.active_at(now):
+                factor *= window.factor
+        return factor

@@ -38,11 +38,22 @@ class LatencyModel:
     bandwidth: float | None = None
     jitter: float = 0.0
 
-    def sample(self, payload_bytes: int = 0, rng: random.Random | None = None) -> float:
-        """Return the latency in seconds of one operation moving ``payload_bytes``."""
+    def expected(self, payload_bytes: int = 0) -> float:
+        """Deterministic expected latency of one operation moving ``payload_bytes``.
+
+        Unlike :meth:`sample` this never draws from an RNG, so latency
+        *estimates* (background-upload scheduling, capacity planning) neither
+        perturb the simulation's random stream nor silently drop the jitter
+        term when no RNG is passed.
+        """
         latency = self.base
         if self.bandwidth:
             latency += payload_bytes / self.bandwidth
+        return max(latency, 0.0)
+
+    def sample(self, payload_bytes: int = 0, rng: random.Random | None = None) -> float:
+        """Return the latency in seconds of one operation moving ``payload_bytes``."""
+        latency = self.expected(payload_bytes)
         if self.jitter and rng is not None:
             latency *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
         return max(latency, 0.0)

@@ -10,7 +10,6 @@ crashes (or, for DepSpace/BFT, behaves arbitrarily).
 import pytest
 
 from repro.common.errors import QuorumNotReachedError
-from repro.common.types import Permission
 from repro.core.deployment import SCFSDeployment
 from repro.simenv.failures import FaultKind
 

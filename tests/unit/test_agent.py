@@ -349,7 +349,7 @@ class TestStatisticsAndLifecycle:
         fs.write(handle, b"pending")
         fs.unmount()
         deployment.drain()
-        fresh = deployment.create_agent("alice2")
+        deployment.create_agent("alice2")
         # alice2 cannot read alice's file (no grant); check via alice's backend instead.
         assert fs.agent.open_handles() == 0
 

@@ -5,7 +5,7 @@ import pytest
 from repro.clouds.access_control import ObjectACL
 from repro.clouds.accounting import CostTracker, UsageBreakdown
 from repro.clouds.eventual import EventuallyConsistentStore
-from repro.clouds.pricing import ComputePricing, StoragePricing
+from repro.clouds.pricing import StoragePricing
 from repro.clouds.providers import (
     COC_STORAGE_PROVIDERS,
     COMPUTE_PRICING,

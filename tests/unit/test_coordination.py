@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.errors import ConflictError, QuorumNotReachedError, TupleNotFoundError
 from repro.common.errors import LockHeldError, NotLockOwnerError
-from repro.common.types import Permission, Principal
+from repro.common.types import Permission
 from repro.coordination.adapters import (
     DepSpaceCoordination,
     ZooKeeperCoordination,

@@ -6,7 +6,6 @@ from repro.bench.costs import cached_read_cost, operation_costs_per_day
 from repro.bench.filebench import MICRO_BENCHMARKS, MicroBenchmarkParams, run_microbenchmark
 from repro.bench.report import human_size, render_table
 from repro.bench.targets import ALL_TARGET_NAMES, SCFS_VARIANT_NAMES, build_target
-from repro.common.types import Permission
 from repro.common.units import KB, MB
 from repro.core.deployment import SCFSDeployment, build_variant_matrix
 from repro.core.modes import BackendKind

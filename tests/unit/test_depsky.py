@@ -4,7 +4,7 @@ import pytest
 
 from repro.clouds.providers import make_cloud_of_clouds
 from repro.common.errors import ObjectNotFoundError, QuorumNotReachedError
-from repro.common.types import Permission, Principal
+from repro.common.types import Permission
 from repro.depsky.dataunit import DataUnitMetadata, VersionRecord
 from repro.depsky.protocol import DepSkyClient
 from repro.simenv.failures import FaultKind
