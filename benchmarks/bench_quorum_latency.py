@@ -22,6 +22,19 @@ engine exists to model:
 * hedged backup requests beat the DEGRADED straggler, cutting p99 read
   latency by a wide margin versus plain dispatch.
 
+The *outage-recovery* sweep (``test_outage_recovery_sweep``) downs one
+preferred cloud for a bounded window — as a crash (every request fails) and as
+a hang (latency x600, so every request burns the full per-request timeout) —
+and compares the same timeout policy with and without cloud health tracking:
+
+* with suspicion, the mean latency of the 2nd..Nth reads during the outage is
+  *strictly lower* than without (the suspect list stops the client from
+  re-probing the dead provider on every call — no repeated timeout tax);
+* under the hang, untracked reads pay at least the full timeout each, while
+  suspected-cloud demotion collapses them back to near fault-free latency;
+* after the outage ends, a background probe succeeds and the cloud rejoins
+  the preferred quorum (suspicions/probes/recoveries are reported).
+
 Set ``QUORUM_BENCH_FAST=1`` to run a reduced sweep (CI smoke mode).
 """
 
@@ -30,6 +43,7 @@ from __future__ import annotations
 import os
 
 from repro.clouds.dispatch import DispatchPolicy
+from repro.clouds.health import CloudHealthTracker, SuspicionPolicy
 from repro.common.types import Principal
 from repro.common.units import KB
 from repro.bench.report import percentile, render_table
@@ -163,3 +177,135 @@ def test_quorum_latency_sweep(run_once, benchmark, capsys):
     # Per-request timeouts also dodge the straggler, though later than a hedge.
     timeout_p99 = percentile(reads("degraded", "timeout"), 99)
     assert timeout_p99 < plain_p99
+
+
+# --------------------------------------------------------------------------
+# Outage-recovery sweep: suspect lists vs re-probing a downed provider.
+# --------------------------------------------------------------------------
+
+OUTAGE_SECONDS = 18.0 if FAST else 36.0
+RECOVERY_SECONDS = 16.0 if FAST else 30.0
+READ_GAP = 1.5
+REQUEST_TIMEOUT = 1.5
+#: A hanging provider: latency x600 means every request exceeds the timeout.
+HANG_FACTOR = 600.0
+OUTAGE_KINDS = ("crash", "hang")
+
+SUSPICION = SuspicionPolicy(
+    threshold=2,          # one read = metadata + block call: suspected fast
+    probe_backoff=8.0,
+    probe_backoff_factor=1.5,
+    probe_backoff_max=30.0,
+)
+
+
+def _run_outage_scenario(kind: str, suspicion: bool, seed: int = 13) -> dict:
+    sim = Simulation(seed=seed)
+    clouds = make_cloud_of_clouds(sim, jitter=JITTER)
+    policy = DispatchPolicy(timeout=REQUEST_TIMEOUT)
+    health = CloudHealthTracker(SUSPICION) if suspicion else None
+    client = DepSkyClient(sim, clouds, Principal("bench-user"), f=1,
+                          policy=policy, health=health)
+
+    payload = bytes((i * 73) % 256 for i in range(PAYLOAD))
+    client.write("unit-outage", payload)
+    sim.advance(3.0)
+    outage_start = sim.now()
+    if kind == "crash":
+        clouds[0].failures.add_outage(outage_start, OUTAGE_SECONDS)
+    elif kind == "hang":
+        clouds[0].failures.add_outage(outage_start, OUTAGE_SECONDS,
+                                      kind=FaultKind.DEGRADED, factor=HANG_FACTOR)
+    else:
+        raise ValueError(f"unknown outage kind {kind!r}")
+    outage_end = clouds[0].failures.next_transition(outage_start)
+
+    outage_reads: list[float] = []
+    recovery_reads: list[float] = []
+    recovery_paths: list[str] = []
+    while sim.now() < outage_end + RECOVERY_SECONDS:
+        in_outage = sim.now() < outage_end
+        start = sim.now()
+        result = client.read_latest("unit-outage")
+        elapsed = sim.now() - start
+        if in_outage:
+            outage_reads.append(elapsed)
+        else:
+            recovery_reads.append(elapsed)
+            recovery_paths.append(result.path)
+        sim.advance(READ_GAP)
+
+    snapshot = health.snapshot() if health is not None else None
+    return {
+        "outage_reads": outage_reads,
+        "recovery_reads": recovery_reads,
+        "recovery_paths": recovery_paths,
+        "health": snapshot,
+        "suspected_at_end": health.suspected_clouds() if health is not None else (),
+    }
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_outage_recovery_sweep(run_once, benchmark, capsys):
+    results = run_once(lambda: {
+        (kind, "suspect" if suspicion else "timeout"): _run_outage_scenario(kind, suspicion)
+        for kind in OUTAGE_KINDS
+        for suspicion in (False, True)
+    })
+
+    rows = []
+    for (kind, policy_name), result in results.items():
+        outage = result["outage_reads"]
+        health = result["health"]
+        rows.append([
+            kind, policy_name, len(outage),
+            outage[0] if outage else 0.0, _mean(outage[1:]),
+            _mean(result["recovery_reads"]),
+            health.suspicions if health else "-",
+            health.probes if health else "-",
+            health.recoveries if health else "-",
+        ])
+    with capsys.disabled():
+        print()
+        print(render_table(
+            f"Outage-recovery sweep ({OUTAGE_SECONDS:.0f} s outage of one preferred cloud, "
+            f"timeout {REQUEST_TIMEOUT} s, reads every {READ_GAP} s)",
+            ["outage", "policy", "reads", "read 1", "mean 2..N",
+             "mean post-outage", "suspicions", "probes", "recoveries"],
+            rows, float_format="{:.3f}"))
+    benchmark.extra_info["outage_sweep"] = {
+        f"{kind}/{policy}": {
+            "first_read": round(result["outage_reads"][0], 4),
+            "mean_rest": round(_mean(result["outage_reads"][1:]), 4),
+            "mean_recovery": round(_mean(result["recovery_reads"]), 4),
+            "suspicions": result["health"].suspicions if result["health"] else 0,
+            "probes": result["health"].probes if result["health"] else 0,
+            "recoveries": result["health"].recoveries if result["health"] else 0,
+        }
+        for (kind, policy), result in results.items()
+    }
+
+    for kind in OUTAGE_KINDS:
+        tracked = results[(kind, "suspect")]
+        untracked = results[(kind, "timeout")]
+        # The acceptance bar: with one preferred cloud down, suspicion makes
+        # the 2nd..Nth reads strictly cheaper than re-probing the dead cloud.
+        assert _mean(tracked["outage_reads"][1:]) < _mean(untracked["outage_reads"][1:]), kind
+        health = tracked["health"]
+        assert health is not None and health.suspicions >= 1
+        # The outage ends, a background probe succeeds, the cloud recovers...
+        assert health.probes >= 1 and health.recoveries >= 1, kind
+        assert tracked["suspected_at_end"] == ()
+        # ...and post-recovery reads return to the preferred (systematic) path.
+        assert tracked["recovery_paths"][-1] == "systematic", kind
+
+    # Under a hang, every untracked read burns at least the full per-request
+    # timeout waiting for the dead preferred cloud; demotion collapses the
+    # steady-state read back under the timeout.
+    hang_untracked = results[("hang", "timeout")]["outage_reads"]
+    hang_tracked = results[("hang", "suspect")]["outage_reads"]
+    assert _mean(hang_untracked[1:]) > REQUEST_TIMEOUT
+    assert _mean(hang_tracked[2:]) < REQUEST_TIMEOUT

@@ -60,15 +60,17 @@ def render_read_paths(title: str, stats_by_target: dict) -> str:
     any_cloud_reads = False
     for target, stats in stats_by_target.items():
         if stats is None or stats.total == 0:
-            rows.append([target, 0, 0, 0, "-", 0, 0])
+            rows.append([target, 0, 0, 0, "-", 0, 0, 0, 0])
             continue
         any_cloud_reads = True
         rows.append([target, stats.total, stats.systematic, stats.coded,
                      f"{100.0 * stats.systematic_rate:.0f}%",
-                     stats.fallback_reads, stats.hedged_requests])
+                     stats.fallback_reads, stats.hedged_requests,
+                     stats.demoted_requests, stats.probe_requests])
     table = render_table(
         title,
-        ["target", "cloud reads", "systematic", "coded", "hit rate", "fallback", "hedged"],
+        ["target", "cloud reads", "systematic", "coded", "hit rate", "fallback",
+         "hedged", "demoted", "probes"],
         rows,
     )
     if rows and not any_cloud_reads:

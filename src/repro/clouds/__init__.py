@@ -18,7 +18,10 @@ basic access-control lists and (at least) eventual consistency (§2.1,
 * :mod:`~repro.clouds.dispatch` — the quorum dispatch engine modelling truly
   parallel per-cloud requests (staged fallback, timeouts, retries, hedging)
   on the simulated timeline, used by the DepSky client for every
-  multi-cloud operation.
+  multi-cloud operation;
+* :mod:`~repro.clouds.health` — per-cloud health tracking (suspect lists with
+  exponential-backoff probe windows, straggler detection) feeding the
+  dispatch engine's request planning.
 """
 
 from repro.clouds.object_store import ObjectStore, ObjectVersion, ObjectListing
@@ -28,6 +31,13 @@ from repro.clouds.dispatch import (
     QuorumCallStats,
     QuorumRequest,
     RequestStatus,
+)
+from repro.clouds.health import (
+    CloudHealth,
+    CloudHealthTracker,
+    CloudStatus,
+    HealthStats,
+    SuspicionPolicy,
 )
 from repro.clouds.eventual import EventuallyConsistentStore
 from repro.clouds.access_control import ObjectACL
@@ -50,6 +60,11 @@ __all__ = [
     "QuorumCallStats",
     "QuorumRequest",
     "RequestStatus",
+    "CloudHealth",
+    "CloudHealthTracker",
+    "CloudStatus",
+    "HealthStats",
+    "SuspicionPolicy",
     "EventuallyConsistentStore",
     "ObjectACL",
     "StoragePricing",

@@ -20,7 +20,13 @@ call shape once, instead of each call site hand-rolling a latency list:
 * *hedging*: with ``hedge_delay`` set, the next stage is dispatched early —
   ``hedge_delay`` after the current stage started — whenever the quorum has
   not been reached by then, which lets backup requests beat a degraded
-  straggler without waiting for it to fail or time out.
+  straggler without waiting for it to fail or time out;
+* *health-aware planning*: with a :class:`~repro.clouds.health.CloudHealthTracker`
+  attached, suspected clouds are demoted out of their stage (fallback requests
+  are promoted in their place) and come back only as *background probes* that
+  never gate the call, DEGRADED stragglers trigger proactive hedging even
+  without an explicit ``hedge_delay``, and every resolved request is fed back
+  into the tracker.
 
 The engine runs entirely on the virtual timeline: request side effects
 (``send``) execute immediately against the simulated stores, while the
@@ -32,9 +38,18 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
-from repro.common.errors import CloudError
+from repro.common.errors import AccessDeniedError, CloudError, ObjectNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.clouds.health import CloudHealthTracker
+
+#: CloudError subclasses that are *authoritative answers*, not provider faults:
+#: the provider was reachable and responded (the key does not exist, the caller
+#: lacks permission).  They fail the quorum slot but prove liveness, so health
+#: tracking must not count them towards suspicion.
+BENIGN_ERRORS = (ObjectNotFoundError, AccessDeniedError)
 
 
 class RequestStatus(enum.Enum):
@@ -65,6 +80,12 @@ class QuorumRequest:
     cloud: str
     send: Callable[[], Any]
     latency: Callable[[Any | None], float]
+    #: True for requests with server-side effects (PUT/DELETE/ACL).  Health
+    #: planning never *skips* a mutating request of a suspected cloud — it is
+    #: dispatched in the background instead, so a version written during a
+    #: suspicion still reaches the provider whenever the provider permits
+    #: (replication must not silently shrink on the say-so of a suspicion).
+    mutating: bool = False
 
 
 @dataclass(frozen=True)
@@ -108,6 +129,12 @@ class RequestTrace:
     status: RequestStatus
     attempts: int = 1
     hedged: bool = False
+    #: Dispatched as a background probe of a suspected cloud: runs concurrently
+    #: with stage 0 but never gates the call's charged latency.
+    probe: bool = False
+    #: FAILED with an authoritative answer (not-found / access-denied): the
+    #: provider is alive, so health tracking treats this as a contact success.
+    benign: bool = False
     value: Any = field(default=None, repr=False)
 
     @property
@@ -135,6 +162,10 @@ class QuorumCallStats:
     winners: tuple[RequestTrace, ...]
     #: Number of requests dispatched as hedges (early fallback stages).
     hedged: int = 0
+    #: Number of background probes dispatched at suspected clouds.
+    probes: int = 0
+    #: Clouds demoted out of their planned stage by the health tracker.
+    demoted: tuple[str, ...] = ()
 
     @property
     def charged(self) -> float:
@@ -168,10 +199,20 @@ class QuorumCallStats:
 
 
 class QuorumCall:
-    """Builder/executor for one staged parallel quorum call."""
+    """Builder/executor for one staged parallel quorum call.
 
-    def __init__(self, policy: DispatchPolicy | None = None):
+    ``health`` attaches a :class:`~repro.clouds.health.CloudHealthTracker`:
+    the call is re-planned around its suspect list before dispatch and every
+    resolved request is fed back into it.  ``now`` is the absolute simulated
+    time at which the call starts (the engine's internal timeline is
+    call-relative) — it anchors probe windows and trace ingestion.
+    """
+
+    def __init__(self, policy: DispatchPolicy | None = None,
+                 health: "CloudHealthTracker | None" = None, now: float = 0.0):
         self.policy = policy or DEFAULT_POLICY
+        self.health = health
+        self.now = now
         self._stages: list[list[QuorumRequest]] = []
 
     def stage(self, requests: Sequence[QuorumRequest]) -> "QuorumCall":
@@ -182,21 +223,24 @@ class QuorumCall:
     # ------------------------------------------------------------------ core
 
     def _resolve(self, request: QuorumRequest, stage: int, start: float,
-                 hedged: bool) -> RequestTrace:
+                 hedged: bool, probe: bool = False) -> RequestTrace:
         """Run one request (with retries) and place its resolution on the timeline."""
         policy = self.policy
         now = start
         attempts = 0
         status = RequestStatus.FAILED
         value: Any = None
+        benign = False
         while attempts <= policy.retries:
             attempts += 1
             try:
                 result = request.send()
                 ok = True
-            except CloudError:
+                benign = False
+            except CloudError as exc:
                 result = None
                 ok = False
+                benign = isinstance(exc, BENIGN_ERRORS)
             latency = max(0.0, request.latency(result))
             if policy.timeout is not None and latency > policy.timeout:
                 # The response would arrive, but the client abandons the
@@ -205,6 +249,7 @@ class QuorumCall:
                 now += policy.timeout
                 status = RequestStatus.TIMED_OUT
                 ok = False
+                benign = False
             else:
                 now += latency
                 status = RequestStatus.OK if ok else RequestStatus.FAILED
@@ -213,7 +258,7 @@ class QuorumCall:
                 break
         return RequestTrace(cloud=request.cloud, stage=stage, dispatched_at=start,
                             resolved_at=now, status=status, attempts=attempts,
-                            hedged=hedged, value=value)
+                            hedged=hedged, probe=probe, benign=benign, value=value)
 
     @staticmethod
     def _quorum_time(traces: list[RequestTrace], required: int) -> float | None:
@@ -232,22 +277,42 @@ class QuorumCall:
         if not self._stages or not self._stages[0]:
             raise ValueError("a quorum call needs at least one non-empty stage")
         policy = self.policy
+        stages: list[list[QuorumRequest]] = self._stages
+        probe_requests: list[QuorumRequest] = []
+        demoted: tuple[str, ...] = ()
+        if self.health is not None:
+            planned = self.health.plan(stages, required, self.now)
+            stages, probe_requests, demoted = planned.stages, planned.probes, planned.demoted
+
         traces: list[RequestTrace] = []
         stage_starts: list[float] = []
         hedged_count = 0
-        for index, requests in enumerate(self._stages):
+        # Background probes of suspected clouds: dispatched at the call's start,
+        # concurrently with stage 0.  Their successes may still win quorum
+        # slots (the cloud recovered), but they never gate the charged wait.
+        for request in probe_requests:
+            traces.append(self._resolve(request, len(stages), 0.0, False, probe=True))
+
+        for index, requests in enumerate(stages):
             if index == 0:
                 start, hedged = 0.0, False
             else:
                 quorum_at = self._quorum_time(traces, required)
-                round_end = max(t.resolved_at for t in traces)
+                round_end = max(t.resolved_at for t in traces if not t.probe)
                 start, hedged = None, False
                 if quorum_at is None:
                     # The previous rounds cannot satisfy the quorum: dispatch
                     # the fallback at the end of the round that triggered it.
                     start = round_end
-                if policy.hedge_delay is not None:
-                    hedge_at = stage_starts[-1] + policy.hedge_delay
+                hedge_delay = policy.hedge_delay
+                if hedge_delay is None and self.health is not None:
+                    # Proactive hedging: a DEGRADED straggler in the previous
+                    # stage supplies an automatic hedge delay.
+                    hedge_delay = self.health.auto_hedge_delay(
+                        [r.cloud for r in stages[index - 1]]
+                    )
+                if hedge_delay is not None:
+                    hedge_at = stage_starts[-1] + hedge_delay
                     if (quorum_at is None or quorum_at > hedge_at) and (
                             start is None or hedge_at < start):
                         start, hedged = hedge_at, True
@@ -269,22 +334,31 @@ class QuorumCall:
             winners = tuple(ordered[:required])
             for trace in ordered[required:]:
                 trace.status = RequestStatus.LATE
-        gave_up_at = max(t.resolved_at for t in traces)
+        # A dead cloud's probe must not inflate the time a failed call charges.
+        gave_up_at = max((t.resolved_at for t in traces if not t.probe),
+                         default=max(t.resolved_at for t in traces))
         stage_waits = tuple(
-            max((t.resolved_at for t in traces if t.stage == s), default=start) - start
+            max((t.resolved_at for t in traces if t.stage == s and not t.probe),
+                default=start) - start
             for s, start in enumerate(stage_starts)
         )
+        if self.health is not None:
+            for trace in traces:
+                self.health.record_trace(trace, self.now)
         return QuorumCallStats(
             required=required, elapsed=elapsed, gave_up_at=gave_up_at,
             traces=traces, stage_started_at=tuple(stage_starts),
             stage_waits=stage_waits, winners=winners, hedged=hedged_count,
+            probes=len(probe_requests), demoted=demoted,
         )
 
 
 def dispatch_quorum(stages: Sequence[Sequence[QuorumRequest]], required: int,
-                    policy: DispatchPolicy | None = None) -> QuorumCallStats:
+                    policy: DispatchPolicy | None = None,
+                    health: "CloudHealthTracker | None" = None,
+                    now: float = 0.0) -> QuorumCallStats:
     """Convenience wrapper: build a :class:`QuorumCall` from ``stages`` and run it."""
-    call = QuorumCall(policy)
+    call = QuorumCall(policy, health=health, now=now)
     for requests in stages:
         call.stage(requests)
     return call.execute(required)

@@ -52,7 +52,14 @@ class _StoredObject:
     visible_at: float
     digest: str
     previous: "_StoredObject | None" = None
-    stored_since: float = field(default=0.0)
+    #: Start of the not-yet-settled storage-accounting span.  Defaults to the
+    #: creation clock — a ``0.0`` default would let byte-seconds accounting
+    #: charge an object from simulation start instead of from its creation.
+    stored_since: float | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.stored_since is None:
+            self.stored_since = self.created_at
 
     def visible_version(self, now: float) -> "_StoredObject | None":
         """Return the newest version of this key already visible at ``now``."""

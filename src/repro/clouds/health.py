@@ -1,0 +1,404 @@
+"""Per-cloud health tracking: suspect lists, probe windows and straggler flags.
+
+SCFS assumes that individual clouds crash, gray-fail and lag.  Without client
+state about *which* provider is misbehaving, every quorum call re-probes every
+cloud: a downed provider costs a failed round trip — or, worse, a full
+per-request timeout — on every single operation, forever.  This module makes
+provider health first-class client state, in the spirit of accrual failure
+detectors and the suspect lists of generalized Byzantine quorum systems.
+
+Suspicion model
+---------------
+A :class:`CloudHealthTracker` ingests the
+:class:`~repro.clouds.dispatch.RequestTrace` of every request the dispatch
+engine resolves (DepSky feeds it all of its quorum calls) and keeps one
+:class:`CloudHealth` record per provider:
+
+* **suspect** — ``threshold`` *consecutive* failures or timeouts move a cloud
+  to :attr:`CloudStatus.SUSPECTED`.  Only *provider faults* count:
+  authoritative answers (not-found, access-denied — ``trace.benign``) prove
+  liveness and clear the failure streak, so reading absent keys or polling a
+  not-yet-visible version never suspects a healthy provider.  Suspected
+  clouds are *demoted* out of the primary dispatch stage by
+  :meth:`CloudHealthTracker.plan`: the engine promotes fallback clouds in
+  their place, so quorum calls stop paying the dead provider's timeout tax.
+  Demotion is conservative — when too few unsuspected clouds remain to
+  satisfy the quorum, the plan reverts to the original stages rather than
+  fail the call outright, and *mutating* requests (PUT/DELETE/ACL) are never
+  skipped: they are dispatched in the background instead, so replication
+  never silently shrinks on the say-so of a suspicion.
+* **probe** — a suspected cloud is not retried on the hot path.  Instead,
+  once its *probe window* elapses, its request is dispatched as a background
+  probe: it runs concurrently with stage 0 but never gates the call's charged
+  latency.  Each failed probe widens the window exponentially
+  (``probe_backoff * probe_backoff_factor^i``, capped at
+  ``probe_backoff_max``), so a long outage converges to a trickle of probes.
+* **recover** — any successful response (probe or regular request) clears the
+  suspicion immediately: the cloud rejoins the primary stage on the next call.
+* **degraded** — an exponentially weighted moving average of per-request
+  latency is kept per cloud.  A cloud whose EWMA exceeds
+  ``degraded_factor`` times the median of its peers is flagged
+  :attr:`CloudStatus.DEGRADED` (a gray failure: it answers, slowly).  When a
+  degraded cloud sits in a dispatched stage and the policy sets no explicit
+  ``hedge_delay``, the tracker supplies an automatic one
+  (``hedge_multiple`` times the healthy median EWMA) so backup requests are
+  hedged proactively instead of waiting out the straggler.
+
+Knobs
+-----
+All knobs live in :class:`SuspicionPolicy`; the config layer
+(:class:`repro.core.config.DispatchPolicyConfig`) exposes them per agent so
+benchmarks and Table 2 variants enable health tracking from configuration
+alone.  ``threshold`` trades detection speed against false suspicion under
+jitter; ``probe_backoff``/``probe_backoff_factor``/``probe_backoff_max``
+bound how stale a suspicion can get (and therefore the worst-case recovery
+lag after an outage ends); ``degraded_factor`` and ``hedge_multiple`` govern
+the straggler path.
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.clouds.dispatch import QuorumRequest, RequestTrace
+
+
+class CloudStatus(enum.Enum):
+    """Externally visible health classification of one provider."""
+
+    #: No evidence of misbehaviour.
+    HEALTHY = "healthy"
+    #: Answering, but much slower than its peers (gray failure / straggler).
+    DEGRADED = "degraded"
+    #: Consecutive failures/timeouts crossed the threshold; demoted from the
+    #: primary stage until a background probe succeeds.
+    SUSPECTED = "suspected"
+
+
+@dataclass(frozen=True)
+class SuspicionPolicy:
+    """Knobs of the suspicion model (see the module docstring)."""
+
+    #: Consecutive failures or timeouts that turn a cloud SUSPECTED.
+    threshold: int = 3
+    #: First probe window in simulated seconds after a suspicion.
+    probe_backoff: float = 10.0
+    #: Multiplier applied to the probe window after each failed probe.
+    probe_backoff_factor: float = 2.0
+    #: Upper bound of the probe window (keeps recovery lag bounded).
+    probe_backoff_max: float = 300.0
+    #: A cloud whose latency EWMA exceeds this multiple of the peer median is
+    #: flagged DEGRADED.
+    degraded_factor: float = 3.0
+    #: Weight of the newest sample in the latency EWMA.
+    ewma_alpha: float = 0.3
+    #: Samples required before the EWMA participates in degradation checks.
+    min_samples: int = 4
+    #: Automatic hedge delay for stages containing a DEGRADED cloud, as a
+    #: multiple of the healthy peers' median EWMA (used only when the dispatch
+    #: policy sets no explicit ``hedge_delay``).
+    hedge_multiple: float = 2.0
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on nonsensical knob combinations."""
+        if self.threshold < 1:
+            raise ValueError("the suspicion threshold must be at least 1")
+        if self.probe_backoff <= 0:
+            raise ValueError("the probe backoff must be positive")
+        if self.probe_backoff_factor < 1.0:
+            raise ValueError("the probe backoff factor must be >= 1")
+        if self.probe_backoff_max < self.probe_backoff:
+            raise ValueError("the probe backoff cap must be >= the initial backoff")
+        if self.degraded_factor <= 1.0:
+            raise ValueError("the degradation factor must exceed 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("the EWMA weight must be in (0, 1]")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        if self.hedge_multiple <= 0:
+            raise ValueError("the hedge multiple must be positive")
+
+
+@dataclass
+class CloudHealth:
+    """Mutable health record of one provider."""
+
+    cloud: str
+    status: CloudStatus = CloudStatus.HEALTHY
+    consecutive_failures: int = 0
+    #: Simulated time the current suspicion started (None when not suspected).
+    suspected_at: float | None = None
+    #: Next simulated time a background probe may be dispatched.
+    probe_at: float | None = None
+    #: Current probe window width (grows exponentially while probes fail).
+    probe_interval: float = 0.0
+    #: Latency EWMA over successful responses (None before the first sample).
+    ewma_latency: float | None = None
+    samples: int = 0
+    #: Lifetime counters of this cloud (suspicions entered / recoveries).
+    suspicions: int = 0
+    recoveries: int = 0
+
+
+@dataclass
+class HealthStats:
+    """Aggregate counters of one tracker, for reports and benchmarks."""
+
+    suspicions: int = 0
+    recoveries: int = 0
+    probes: int = 0
+    #: Requests demoted out of their planned stage because of a suspicion.
+    demoted_requests: int = 0
+    #: Demoted requests that were skipped entirely (probe window not yet due).
+    skipped_requests: int = 0
+    suspected_now: tuple[str, ...] = ()
+    degraded_now: tuple[str, ...] = ()
+
+    def merge(self, other: "HealthStats") -> "HealthStats":
+        """Element-wise sum of two snapshots (aggregation across agents)."""
+        return HealthStats(
+            suspicions=self.suspicions + other.suspicions,
+            recoveries=self.recoveries + other.recoveries,
+            probes=self.probes + other.probes,
+            demoted_requests=self.demoted_requests + other.demoted_requests,
+            skipped_requests=self.skipped_requests + other.skipped_requests,
+            suspected_now=tuple(dict.fromkeys(self.suspected_now + other.suspected_now)),
+            degraded_now=tuple(dict.fromkeys(self.degraded_now + other.degraded_now)),
+        )
+
+
+@dataclass
+class PlannedStages:
+    """Result of health-aware request planning for one quorum call."""
+
+    stages: list[list["QuorumRequest"]]
+    #: Requests of suspected clouds whose probe window is due: dispatched as
+    #: background probes (concurrent with stage 0, never gating the call).
+    probes: list["QuorumRequest"] = field(default_factory=list)
+    #: Clouds demoted out of their planned stage this call.
+    demoted: tuple[str, ...] = ()
+
+
+class CloudHealthTracker:
+    """Per-client tracker turning request traces into dispatch planning."""
+
+    def __init__(self, policy: SuspicionPolicy | None = None):
+        self.policy = policy or SuspicionPolicy()
+        self.policy.validate()
+        self._clouds: dict[str, CloudHealth] = {}
+        self.suspicions = 0
+        self.recoveries = 0
+        self.probes = 0
+        self.demoted_requests = 0
+        self.skipped_requests = 0
+
+    # ------------------------------------------------------------- inspection
+
+    def health(self, cloud: str) -> CloudHealth:
+        """The (lazily created) health record of ``cloud``."""
+        record = self._clouds.get(cloud)
+        if record is None:
+            record = self._clouds[cloud] = CloudHealth(cloud=cloud)
+        return record
+
+    def is_suspected(self, cloud: str) -> bool:
+        """True while ``cloud`` sits on the suspect list."""
+        record = self._clouds.get(cloud)
+        return record is not None and record.status is CloudStatus.SUSPECTED
+
+    def probe_due(self, cloud: str, now: float) -> bool:
+        """True when a suspected cloud's probe window has elapsed."""
+        record = self._clouds.get(cloud)
+        return (
+            record is not None
+            and record.status is CloudStatus.SUSPECTED
+            and record.probe_at is not None
+            and now >= record.probe_at
+        )
+
+    def _peer_median(self, cloud: str) -> float | None:
+        peers = [
+            r.ewma_latency for r in self._clouds.values()
+            if r.cloud != cloud
+            and r.status is not CloudStatus.SUSPECTED
+            and r.ewma_latency is not None
+            and r.samples >= self.policy.min_samples
+        ]
+        return statistics.median(peers) if peers else None
+
+    def is_degraded(self, cloud: str) -> bool:
+        """True when ``cloud`` answers but lags far behind its peers."""
+        record = self._clouds.get(cloud)
+        if (
+            record is None
+            or record.status is CloudStatus.SUSPECTED
+            or record.ewma_latency is None
+            or record.samples < self.policy.min_samples
+        ):
+            return False
+        median = self._peer_median(cloud)
+        return median is not None and record.ewma_latency > self.policy.degraded_factor * median
+
+    def status(self, cloud: str) -> CloudStatus:
+        """Current classification of ``cloud`` (degradation checked lazily)."""
+        record = self._clouds.get(cloud)
+        if record is None:
+            return CloudStatus.HEALTHY
+        if record.status is CloudStatus.SUSPECTED:
+            return CloudStatus.SUSPECTED
+        return CloudStatus.DEGRADED if self.is_degraded(cloud) else CloudStatus.HEALTHY
+
+    def auto_hedge_delay(self, clouds: Sequence[str]) -> float | None:
+        """Hedge delay for a stage containing a DEGRADED cloud, else ``None``.
+
+        Derived from the healthy peers' median EWMA so the hedge fires shortly
+        after a healthy response *should* have arrived.
+        """
+        degraded = [c for c in clouds if self.is_degraded(c)]
+        if not degraded:
+            return None
+        median = self._peer_median(degraded[0])
+        if median is None or median <= 0:
+            return None
+        return self.policy.hedge_multiple * median
+
+    # --------------------------------------------------------------- planning
+
+    def plan(self, stages: Sequence[Sequence["QuorumRequest"]], required: int,
+             now: float) -> PlannedStages:
+        """Re-plan a call's stages around the current suspect list.
+
+        Suspected clouds are removed from every stage; fallback requests are
+        promoted forward to refill earlier stages (preserving the original
+        stage sizes), so the primary round keeps enough healthy clouds to
+        satisfy the quorum without waiting for a fallback dispatch.  Suspected
+        clouds whose probe window is due come back as background probes.  When
+        fewer unsuspected requests remain than ``required``, the plan reverts
+        to the original stages (suspicion must never make a call unsatisfiable
+        that would otherwise be tried).
+        """
+        suspected = [
+            request
+            for stage in stages
+            for request in stage
+            if self.is_suspected(request.cloud)
+        ]
+        if not suspected:
+            return PlannedStages(stages=[list(stage) for stage in stages])
+        remaining = [
+            request
+            for stage in stages
+            for request in stage
+            if not self.is_suspected(request.cloud)
+        ]
+        if len(remaining) < required:
+            # Too many suspects: demotion would make the quorum unreachable.
+            return PlannedStages(stages=[list(stage) for stage in stages])
+
+        probes: list[QuorumRequest] = []
+        demoted: list[str] = []
+        for request in suspected:
+            demoted.append(request.cloud)
+            if request.mutating or self.probe_due(request.cloud, now):
+                # Mutating requests (PUT/DELETE/ACL) are never skipped:
+                # replication must not silently shrink just because a provider
+                # is suspected — the attempt runs in the background, storing
+                # the copy whenever the provider actually permits, while the
+                # call's charged latency stays free of the suspect.  Read
+                # requests come back only when the probe window is due.
+                probes.append(request)
+                self.probes += 1
+            else:
+                self.skipped_requests += 1
+        self.demoted_requests += len(demoted)
+
+        planned: list[list[QuorumRequest]] = []
+        queue = list(remaining)
+        for stage in stages:
+            if not queue:
+                break
+            take, queue = queue[:len(stage)], queue[len(stage):]
+            planned.append(take)
+        if queue:  # pragma: no cover - sizes always cover the queue
+            planned.append(queue)
+        return PlannedStages(stages=planned, probes=probes, demoted=tuple(demoted))
+
+    # -------------------------------------------------------------- ingestion
+
+    def record_trace(self, trace: "RequestTrace", base_time: float) -> None:
+        """Ingest one resolved request of a quorum call.
+
+        ``base_time`` is the absolute simulated time at which the call started
+        (trace timestamps are call-relative).  A *benign* failure (not-found,
+        access-denied) is an authoritative answer: it proves the provider is
+        alive, so it counts as a contact success for health purposes even
+        though it occupied no quorum slot — otherwise reading absent keys (or
+        polling a not-yet-visible version under eventual consistency) would
+        put perfectly healthy clouds on the suspect list.
+        """
+        latency = max(0.0, trace.resolved_at - trace.dispatched_at)
+        self.observe(trace.cloud, succeeded=trace.succeeded or trace.benign,
+                     latency=latency, now=base_time + trace.resolved_at)
+
+    def observe(self, cloud: str, succeeded: bool, latency: float, now: float) -> None:
+        """Ingest one request outcome (used directly by single-cloud backends)."""
+        record = self.health(cloud)
+        if succeeded:
+            record.samples += 1
+            if record.ewma_latency is None:
+                record.ewma_latency = latency
+            else:
+                alpha = self.policy.ewma_alpha
+                record.ewma_latency = alpha * latency + (1.0 - alpha) * record.ewma_latency
+            record.consecutive_failures = 0
+            if record.status is CloudStatus.SUSPECTED:
+                record.status = CloudStatus.HEALTHY
+                record.suspected_at = None
+                record.probe_at = None
+                record.probe_interval = 0.0
+                record.recoveries += 1
+                self.recoveries += 1
+            return
+        record.consecutive_failures += 1
+        if record.status is CloudStatus.SUSPECTED:
+            # A probe (or a reverted-plan request) failed: widen the window.
+            record.probe_interval = min(
+                record.probe_interval * self.policy.probe_backoff_factor,
+                self.policy.probe_backoff_max,
+            )
+            record.probe_at = now + record.probe_interval
+        elif record.consecutive_failures >= self.policy.threshold:
+            record.status = CloudStatus.SUSPECTED
+            record.suspected_at = now
+            record.probe_interval = self.policy.probe_backoff
+            record.probe_at = now + record.probe_interval
+            record.suspicions += 1
+            self.suspicions += 1
+
+    # ---------------------------------------------------------------- reports
+
+    def suspected_clouds(self) -> tuple[str, ...]:
+        """Names of the clouds currently on the suspect list."""
+        return tuple(
+            r.cloud for r in self._clouds.values() if r.status is CloudStatus.SUSPECTED
+        )
+
+    def degraded_clouds(self) -> tuple[str, ...]:
+        """Names of the clouds currently flagged as stragglers."""
+        return tuple(r.cloud for r in self._clouds.values() if self.is_degraded(r.cloud))
+
+    def snapshot(self) -> HealthStats:
+        """Aggregate counters plus the current suspect/straggler lists."""
+        return HealthStats(
+            suspicions=self.suspicions,
+            recoveries=self.recoveries,
+            probes=self.probes,
+            demoted_requests=self.demoted_requests,
+            skipped_requests=self.skipped_requests,
+            suspected_now=self.suspected_clouds(),
+            degraded_now=self.degraded_clouds(),
+        )

@@ -23,10 +23,11 @@ import contextlib
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.common.errors import ObjectNotFoundError
+from repro.common.errors import CloudError, ObjectNotFoundError
 from repro.common.types import ObjectRef, Permission, Principal
-from repro.clouds.dispatch import DispatchPolicy, QuorumCall, QuorumRequest
+from repro.clouds.dispatch import BENIGN_ERRORS, DispatchPolicy, QuorumCall, QuorumRequest
 from repro.clouds.eventual import EventuallyConsistentStore
+from repro.clouds.health import CloudHealthTracker, HealthStats
 from repro.crypto.hashing import content_digest
 from repro.depsky.protocol import DepSkyClient, DepSkyReadResult
 from repro.simenv.environment import Simulation
@@ -47,6 +48,10 @@ class ReadPathStats:
     fallback_reads: int = 0
     #: Backup requests dispatched as hedges across all reads.
     hedged_requests: int = 0
+    #: Requests demoted out of their stage because the cloud was suspected.
+    demoted_requests: int = 0
+    #: Background probes dispatched at suspected clouds.
+    probe_requests: int = 0
 
     @property
     def total(self) -> int:
@@ -64,10 +69,14 @@ class ReadPathStats:
             self.systematic += 1
         else:
             self.coded += 1
-        if result.stats is not None:
-            if result.stats.fallback_dispatched:
-                self.fallback_reads += 1
-            self.hedged_requests += result.stats.hedged
+        for stats in (result.stats, result.meta_stats):
+            if stats is None:
+                continue
+            self.hedged_requests += stats.hedged
+            self.demoted_requests += len(stats.demoted)
+            self.probe_requests += stats.probes
+        if result.stats is not None and result.stats.fallback_dispatched:
+            self.fallback_reads += 1
 
     def merge(self, other: "ReadPathStats") -> "ReadPathStats":
         """Return the sum of two accumulators (used to aggregate across agents)."""
@@ -76,6 +85,8 @@ class ReadPathStats:
             coded=self.coded + other.coded,
             fallback_reads=self.fallback_reads + other.fallback_reads,
             hedged_requests=self.hedged_requests + other.hedged_requests,
+            demoted_requests=self.demoted_requests + other.demoted_requests,
+            probe_requests=self.probe_requests + other.probe_requests,
         )
 
 
@@ -138,15 +149,54 @@ class StorageBackend(abc.ABC):
     def uncharged(self) -> Iterator[None]:
         """Context manager suspending latency charging (background uploads)."""
 
+    #: Per-backend cloud health tracker (``None`` when tracking is disabled).
+    health: CloudHealthTracker | None = None
+
+    def health_stats(self) -> HealthStats | None:
+        """Snapshot of the suspicion counters, or ``None`` without tracking."""
+        return self.health.snapshot() if self.health is not None else None
+
 
 class SingleCloudBackend(StorageBackend):
-    """Whole-file versions stored as objects of a single storage cloud (SCFS-AWS)."""
+    """Whole-file versions stored as objects of a single storage cloud (SCFS-AWS).
 
-    def __init__(self, sim: Simulation, store: EventuallyConsistentStore, principal: Principal):
+    ``dispatch`` is the agent's
+    :class:`~repro.core.config.DispatchPolicyConfig`.  A single cloud has no
+    quorum to re-plan, so only the health-tracking half applies: request
+    outcomes feed a :class:`~repro.clouds.health.CloudHealthTracker`, making
+    outage detection visible to reports even for the SCFS-AWS variants.
+    """
+
+    def __init__(self, sim: Simulation, store: EventuallyConsistentStore, principal: Principal,
+                 dispatch=None):
         self.sim = sim
         self.store = store
         self.principal = principal
         self.name = f"single-cloud({store.name})"
+        self.health: CloudHealthTracker | None = (
+            dispatch.make_tracker() if dispatch is not None else None
+        )
+
+    def _observed(self, operation):
+        """Run one store operation, feeding its outcome to the health tracker.
+
+        A benign error (not-found / access-denied) is an authoritative answer
+        — proof of liveness — so it counts as a contact success: polling a
+        not-yet-visible version under eventual consistency must not put the
+        only cloud on the suspect list.
+        """
+        if self.health is None:
+            return operation()
+        start = self.sim.now()
+        try:
+            result = operation()
+        except CloudError as exc:
+            self.health.observe(self.store.name, succeeded=isinstance(exc, BENIGN_ERRORS),
+                                latency=self.sim.now() - start, now=self.sim.now())
+            raise
+        self.health.observe(self.store.name, succeeded=True,
+                            latency=self.sim.now() - start, now=self.sim.now())
+        return result
 
     # -- key scheme -----------------------------------------------------------
 
@@ -162,11 +212,11 @@ class SingleCloudBackend(StorageBackend):
 
     def write_version(self, file_id: str, data: bytes) -> ObjectRef:
         digest = content_digest(data)
-        self.store.put(self._key(file_id, digest), data, self.principal)
+        self._observed(lambda: self.store.put(self._key(file_id, digest), data, self.principal))
         return ObjectRef(key=file_id, digest=digest, size=len(data))
 
     def read_version(self, file_id: str, digest: str) -> bytes:
-        data = self.store.get(self._key(file_id, digest), self.principal)
+        data = self._observed(lambda: self.store.get(self._key(file_id, digest), self.principal))
         if content_digest(data) != digest:
             # The provider returned corrupted data for this version; surface it
             # as "not found" so the caller's retry loop can try again (and
@@ -226,7 +276,16 @@ class SingleCloudBackend(StorageBackend):
 
 
 class CloudOfCloudsBackend(StorageBackend):
-    """Whole-file versions stored through DepSky over ``3f+1`` clouds (SCFS-CoC)."""
+    """Whole-file versions stored through DepSky over ``3f+1`` clouds (SCFS-CoC).
+
+    ``dispatch`` is the agent's
+    :class:`~repro.core.config.DispatchPolicyConfig`: it supplies both the
+    engine-level :class:`~repro.clouds.dispatch.DispatchPolicy`
+    (timeouts/retries/hedging) and, when suspicion is enabled, the per-client
+    :class:`~repro.clouds.health.CloudHealthTracker` that demotes suspected
+    clouds out of the primary quorum stage.  An explicit ``policy`` argument
+    overrides the one derived from ``dispatch``.
+    """
 
     def __init__(
         self,
@@ -236,12 +295,18 @@ class CloudOfCloudsBackend(StorageBackend):
         f: int = 1,
         encrypt: bool = True,
         policy: DispatchPolicy | None = None,
+        dispatch=None,
     ):
         self.sim = sim
         self.principal = principal
+        if policy is None and dispatch is not None:
+            policy = dispatch.to_policy()
+        self.health: CloudHealthTracker | None = (
+            dispatch.make_tracker() if dispatch is not None else None
+        )
         self.client = DepSkyClient(
             sim, clouds, principal, f=f, encrypt=encrypt, preferred_quorums=True,
-            policy=policy,
+            policy=policy, health=self.health,
         )
         self.name = f"cloud-of-clouds(f={f}, n={self.client.n})"
         self.read_paths = ReadPathStats()

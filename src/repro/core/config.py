@@ -12,6 +12,8 @@ from dataclasses import dataclass, field, replace
 
 from repro.common.errors import ConfigurationError
 from repro.common.units import GB, MB
+from repro.clouds.dispatch import DispatchPolicy
+from repro.clouds.health import CloudHealthTracker, SuspicionPolicy
 from repro.core.modes import BackendKind, OperationMode
 
 
@@ -65,6 +67,82 @@ class GarbageCollectionPolicy:
 
 
 @dataclass(frozen=True)
+class DispatchPolicyConfig:
+    """Config-level knobs of the quorum dispatch engine and health tracking.
+
+    Mirrors :class:`~repro.clouds.dispatch.DispatchPolicy` (per-request
+    timeout, bounded retries, hedged fallback dispatch) and the suspicion
+    model of :class:`~repro.clouds.health.SuspicionPolicy`, so that agents and
+    benchmark variants enable the whole stack from configuration alone.
+    ``suspicion_threshold = 0`` (the default) disables health tracking; any
+    positive value builds a per-client
+    :class:`~repro.clouds.health.CloudHealthTracker` with the probe-backoff
+    and degradation knobs below.
+    """
+
+    #: Abandon any single cloud request after this many seconds (None: wait).
+    timeout: float | None = None
+    #: Extra attempts after a failed or timed-out request.
+    retries: int = 0
+    #: Dispatch the fallback stage this many seconds after the current stage
+    #: started whenever the quorum has not been reached (None: no hedging).
+    hedge_delay: float | None = None
+    #: Consecutive failures/timeouts that put a cloud on the suspect list
+    #: (0 disables health tracking altogether).
+    suspicion_threshold: int = 0
+    #: First probe window after a suspicion, in simulated seconds.
+    probe_backoff: float = 10.0
+    #: Multiplier applied to the probe window after each failed probe.
+    probe_backoff_factor: float = 2.0
+    #: Upper bound of the probe window.
+    probe_backoff_max: float = 300.0
+    #: Latency-EWMA multiple over the peer median that flags a straggler.
+    degraded_factor: float = 3.0
+
+    @property
+    def tracks_health(self) -> bool:
+        """True when this config enables suspect-list tracking."""
+        return self.suspicion_threshold > 0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical dispatch knobs."""
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError("the per-request timeout must be positive")
+        if self.retries < 0:
+            raise ConfigurationError("the retry count must be non-negative")
+        if self.hedge_delay is not None and self.hedge_delay <= 0:
+            raise ConfigurationError("the hedge delay must be positive")
+        if self.suspicion_threshold < 0:
+            raise ConfigurationError("the suspicion threshold must be non-negative")
+        if self.tracks_health:
+            try:
+                self.suspicion().validate()
+            except ValueError as exc:
+                raise ConfigurationError(str(exc)) from exc
+
+    def to_policy(self) -> DispatchPolicy:
+        """The engine-level :class:`~repro.clouds.dispatch.DispatchPolicy`."""
+        return DispatchPolicy(timeout=self.timeout, retries=self.retries,
+                              hedge_delay=self.hedge_delay)
+
+    def suspicion(self) -> SuspicionPolicy:
+        """The suspicion knobs as a :class:`~repro.clouds.health.SuspicionPolicy`."""
+        return SuspicionPolicy(
+            threshold=max(1, self.suspicion_threshold),
+            probe_backoff=self.probe_backoff,
+            probe_backoff_factor=self.probe_backoff_factor,
+            probe_backoff_max=self.probe_backoff_max,
+            degraded_factor=self.degraded_factor,
+        )
+
+    def make_tracker(self) -> CloudHealthTracker | None:
+        """Build the per-client health tracker, or ``None`` when disabled."""
+        if not self.tracks_health:
+            return None
+        return CloudHealthTracker(self.suspicion())
+
+
+@dataclass(frozen=True)
 class SCFSConfig:
     """Full configuration of one SCFS agent."""
 
@@ -83,6 +161,9 @@ class SCFSConfig:
     encrypt_data: bool = True
     caches: CacheConfig = field(default_factory=CacheConfig)
     gc: GarbageCollectionPolicy = field(default_factory=GarbageCollectionPolicy)
+    #: Quorum dispatch policy (timeouts/retries/hedging) and cloud health
+    #: tracking (suspect lists) of this agent's storage backend.
+    dispatch: DispatchPolicyConfig = field(default_factory=DispatchPolicyConfig)
     #: Lease of coordination-service sessions/locks in seconds.
     lock_lease: float = 30.0
     #: Interval between retries of the consistency-anchor read loop (Figure 3, r2).
@@ -94,6 +175,7 @@ class SCFSConfig:
         """Check cross-field consistency; raise :class:`ConfigurationError` otherwise."""
         self.caches.validate()
         self.gc.validate()
+        self.dispatch.validate()
         if self.fault_tolerance < 0:
             raise ConfigurationError("fault tolerance must be non-negative")
         if self.coordination_kind not in ("depspace", "zookeeper"):
@@ -103,8 +185,20 @@ class SCFSConfig:
         if self.mode is OperationMode.NON_SHARING and not self.private_name_spaces:
             # The non-sharing mode stores *all* metadata in the PNS by definition.
             raise ConfigurationError("the non-sharing mode requires private name spaces")
+        if self.lock_lease <= 0:
+            raise ConfigurationError("the lock lease must be positive")
         if self.read_retry_interval <= 0:
             raise ConfigurationError("read retry interval must be positive")
+        if self.read_retry_limit < 0:
+            raise ConfigurationError("the read retry limit must be non-negative")
+        if self.dispatch.hedge_delay is not None and self.backend is not BackendKind.COC:
+            # Hedging dispatches a *fallback stage* early; only the
+            # cloud-of-clouds backend has one (the single-cloud backend's
+            # requests are sequential, so there is nothing to hedge with).
+            raise ConfigurationError(
+                "hedge_delay requires the cloud-of-clouds backend "
+                "(a fallback stage must exist to hedge with)"
+            )
 
     def with_mode(self, mode: OperationMode) -> "SCFSConfig":
         """Return a copy with a different operation mode (PNS forced on for NS)."""

@@ -27,7 +27,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
-from repro.common.errors import ObjectNotFoundError, QuorumNotReachedError
+from repro.common.errors import IntegrityError, ObjectNotFoundError, QuorumNotReachedError
 from repro.common.types import ObjectRef
 from repro.core.backend import StorageBackend
 from repro.crypto.hashing import content_digest
@@ -119,20 +119,40 @@ class AnchoredStorage:
         return ref
 
     def read(self, object_id: str) -> bytes | None:
-        """READ(id): fetch the anchored hash, then poll the SS until it appears."""
+        """READ(id): fetch the anchored hash, then poll the SS until it appears.
+
+        A response whose hash does not match the anchored digest (step r3) is
+        treated like an absent one: the SS returned a *stale visible version*
+        (or corrupted data), so the loop keeps polling.  Unlike a plain
+        not-found, exhausting the retries after observing mismatching data
+        raises :class:`~repro.common.errors.IntegrityError` — the object
+        demonstrably exists but the SS never produced the anchored version,
+        which must not be reported as "file absent".
+        """
         digest = self.anchor.read_hash(object_id)          # r1
         if digest is None:
             return None
         attempts = 0
+        mismatches = 0
         while True:                                        # r2
+            data = None
             try:
                 data = self.backend.read_version(object_id, digest)
-                break
             except (ObjectNotFoundError, QuorumNotReachedError):
                 # Not visible yet (eventual consistency) or not enough clouds
                 # hold the blocks yet — keep polling, as the algorithm requires.
-                attempts += 1
-                if attempts > self.retry_limit:
-                    return None
-                self.sim.advance(self.retry_interval)
-        return data if content_digest(data) == digest else None   # r3
+                pass
+            if data is not None:
+                if content_digest(data) == digest:         # r3
+                    return data
+                mismatches += 1                            # stale visible version
+            attempts += 1
+            if attempts > self.retry_limit:
+                if mismatches:
+                    raise IntegrityError(
+                        f"storage service never produced the anchored version of "
+                        f"{object_id!r} (digest {digest[:12]}…): got {mismatches} "
+                        f"mismatching response(s) over {attempts} attempts"
+                    )
+                return None
+            self.sim.advance(self.retry_interval)

@@ -108,11 +108,15 @@ class SCFSDeployment:
         return Principal(name=username, canonical_ids=canonical)
 
     def _backend_for(self, principal: Principal) -> StorageBackend:
+        # The config's dispatch block travels with every backend, so variants
+        # enable timeouts/hedging/suspect-lists from configuration alone.
         if self.config.backend is BackendKind.AWS:
-            return SingleCloudBackend(self.sim, self.clouds[0], principal)
+            return SingleCloudBackend(self.sim, self.clouds[0], principal,
+                                      dispatch=self.config.dispatch)
         return CloudOfCloudsBackend(
             self.sim, self.clouds, principal,
             f=self.config.fault_tolerance, encrypt=self.config.encrypt_data,
+            dispatch=self.config.dispatch,
         )
 
     def create_agent(self, username: str, config: SCFSConfig | None = None) -> SCFSFileSystem:

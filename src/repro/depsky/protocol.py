@@ -43,7 +43,13 @@ wait.  The stage semantics are:
   timeouts, bounded retries and *hedging*: dispatching the fallback stage
   ``hedge_delay`` seconds after the current stage started whenever the quorum
   has not been reached by then, which lets backup requests beat a DEGRADED
-  straggler.
+  straggler;
+* an optional :class:`~repro.clouds.health.CloudHealthTracker` makes the
+  client remember which providers are misbehaving: suspected clouds are
+  demoted out of the primary stage (fallback clouds take their slots), probed
+  in the background with exponential backoff, and restored on the first
+  successful response — so repeated reads stop paying a downed provider's
+  timeout on every call.
 
 Each operation's :class:`~repro.clouds.dispatch.QuorumCallStats` (per-cloud
 outcome, per-stage wait, winner set) is threaded into
@@ -69,6 +75,7 @@ from repro.clouds.dispatch import (
     QuorumCallStats,
     QuorumRequest,
 )
+from repro.clouds.health import CloudHealthTracker
 from repro.clouds.object_store import ObjectStore
 from repro.crypto.cipher import SymmetricCipher, generate_key
 from repro.crypto.erasure import CodedBlock, ErasureCoder
@@ -134,6 +141,11 @@ class DepSkyClient:
         Dispatch policy applied to every quorum call of this client —
         per-request timeout, bounded retries and hedged fallback dispatch.
         Defaults to plain staged dispatch (no timeouts, no hedging).
+    health:
+        Optional :class:`~repro.clouds.health.CloudHealthTracker`.  When set,
+        every quorum call is re-planned around its suspect list (suspected
+        clouds are demoted out of the primary stage and probed in the
+        background) and every resolved request feeds the tracker.
     """
 
     def __init__(
@@ -146,6 +158,7 @@ class DepSkyClient:
         preferred_quorums: bool = True,
         charge_latency: bool = True,
         policy: DispatchPolicy | None = None,
+        health: CloudHealthTracker | None = None,
     ):
         if f < 0:
             raise ValueError("f must be non-negative")
@@ -161,6 +174,7 @@ class DepSkyClient:
         self.preferred_quorums = preferred_quorums
         self.charge_latency = charge_latency
         self.policy = policy
+        self.health = health
         self.coder = ErasureCoder(n=self.n, k=self.k)
 
     # ------------------------------------------------------------------ keys
@@ -196,7 +210,7 @@ class DepSkyClient:
         return getattr(profile, kind).sample(payload, self.sim.rng)
 
     def _call(self) -> QuorumCall:
-        return QuorumCall(self.policy)
+        return QuorumCall(self.policy, health=self.health, now=self.sim.now())
 
     def _get_request(self, cloud: ObjectStore, key: str, parse) -> QuorumRequest:
         """Build a GET request whose response must ``parse`` to count as a success.
@@ -230,7 +244,7 @@ class DepSkyClient:
         def latency(_value):
             return self._request_latency(cloud, "object_put", len(blob))
 
-        return QuorumRequest(cloud=cloud.name, send=send, latency=latency)
+        return QuorumRequest(cloud=cloud.name, send=send, latency=latency, mutating=True)
 
     # -------------------------------------------------------------- metadata
 
@@ -325,7 +339,7 @@ class DepSkyClient:
             def latency(_value):
                 return self._request_latency(cloud, "object_put", blob_len)
 
-            return QuorumRequest(cloud=cloud.name, send=send, latency=latency)
+            return QuorumRequest(cloud=cloud.name, send=send, latency=latency, mutating=True)
 
         # Preferred quorum: only the first n - f clouds receive data blocks,
         # which is where the ~1.5x storage factor of Figure 11(c) comes from.
@@ -493,7 +507,7 @@ class DepSkyClient:
             def latency(_value):
                 return self._request_latency(cloud, "object_delete", 0)
 
-            return QuorumRequest(cloud=cloud.name, send=send, latency=latency)
+            return QuorumRequest(cloud=cloud.name, send=send, latency=latency, mutating=True)
 
         delete_stats = self._call().stage(
             [delete_request(i) for i in range(self.n)]
@@ -539,7 +553,7 @@ class DepSkyClient:
             def latency(_value):
                 return self._request_latency(cloud, "metadata_op", 0)
 
-            return QuorumRequest(cloud=cloud.name, send=send, latency=latency)
+            return QuorumRequest(cloud=cloud.name, send=send, latency=latency, mutating=True)
 
         stats = self._call().stage(
             [acl_request(c) for c in self.clouds]

@@ -65,6 +65,19 @@ class FailureSchedule:
             raise ValueError("a DEGRADED window needs a positive latency factor")
         self.windows.append(FaultWindow(kind, start, end, factor))
 
+    def add_outage(self, start: float, duration: float,
+                   kind: FaultKind = FaultKind.UNAVAILABLE, factor: float = 1.0) -> None:
+        """Schedule a bounded outage: ``kind`` active on ``[start, start+duration)``.
+
+        Convenience for the outage schedules swept by the quorum-latency
+        benchmark: a crash outage (the default) raises on every request, a
+        *hang* outage (``kind=FaultKind.DEGRADED`` with a large ``factor``)
+        models a provider that stops answering within any reasonable timeout.
+        """
+        if duration <= 0:
+            raise ValueError("an outage needs a positive duration")
+        self.add(kind, start=start, end=start + duration, factor=factor)
+
     def clear(self) -> None:
         """Remove all scheduled faults."""
         self.windows.clear()
@@ -76,6 +89,18 @@ class FailureSchedule:
     def is_active(self, kind: FaultKind, now: float) -> bool:
         """True if ``kind`` is active at ``now``."""
         return any(w.kind is kind and w.active_at(now) for w in self.windows)
+
+    def next_transition(self, now: float) -> float | None:
+        """Next simulated instant after ``now`` at which the active set changes.
+
+        Returns ``None`` when no further window starts or ends (benchmarks use
+        this to pace an outage sweep without hard-coding window boundaries).
+        """
+        times = [
+            t for w in self.windows for t in (w.start, w.end)
+            if t > now and t != float("inf")
+        ]
+        return min(times, default=None)
 
     def degradation(self, now: float) -> float:
         """Combined latency multiplier of the DEGRADED windows active at ``now``.
