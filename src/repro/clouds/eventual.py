@@ -332,6 +332,16 @@ class EventuallyConsistentStore(ObjectStore):
 
     # --------------------------------------------------------------- helpers
 
+    def raw_object(self, key: str) -> bytes | None:
+        """Bytes stored under ``key`` exactly as the provider holds them.
+
+        Bypasses visibility delays, ACLs, fault injection and latency charging
+        — the ground-truth view the scenario engine's durability checker uses
+        to count how many providers really hold a verifiable block.
+        """
+        obj = self._objects.get(key)
+        return obj.data if obj is not None else None
+
     def stored_bytes(self) -> int:
         """Total bytes currently stored (all visible and in-flight versions)."""
         return sum(len(o.data) for o in self._objects.values())

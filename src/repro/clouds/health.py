@@ -195,6 +195,10 @@ class CloudHealthTracker:
         self.probes = 0
         self.demoted_requests = 0
         self.skipped_requests = 0
+        #: Optional observer of suspect-list transitions, invoked as
+        #: ``on_transition(cloud, state, now)`` with state ``"suspected"`` or
+        #: ``"recovered"`` (the scenario engine records these in its trace).
+        self.on_transition = None
 
     # ------------------------------------------------------------- inspection
 
@@ -362,6 +366,8 @@ class CloudHealthTracker:
                 record.probe_interval = 0.0
                 record.recoveries += 1
                 self.recoveries += 1
+                if self.on_transition is not None:
+                    self.on_transition(cloud, "recovered", now)
             return
         record.consecutive_failures += 1
         if record.status is CloudStatus.SUSPECTED:
@@ -378,6 +384,8 @@ class CloudHealthTracker:
             record.probe_at = now + record.probe_interval
             record.suspicions += 1
             self.suspicions += 1
+            if self.on_transition is not None:
+                self.on_transition(cloud, "suspected", now)
 
     # ---------------------------------------------------------------- reports
 

@@ -41,15 +41,22 @@ class LockManager:
     session: Session
     retry_interval: float = 0.2
     max_retries: int = 0
-    held: set[str] = field(default_factory=set)
+    #: Lock name -> number of outstanding acquisitions by this session.  The
+    #: count makes re-entrant acquisition symmetric with release: the lock is
+    #: only returned to the coordination service when every acquisition has
+    #: been released.  (A flat set would release on the *first* release, which
+    #: let another client grab the lock while e.g. a second open of the same
+    #: file — or a pending non-blocking commit — was still writing.)
+    held: dict[str, int] = field(default_factory=dict)
 
     def try_acquire(self, name: str) -> bool:
         """Single non-blocking acquisition attempt (re-entrant for this session)."""
         if name in self.held:
+            self.held[name] += 1
             return True
         acquired = self.service.try_lock(name, self.session)
         if acquired:
-            self.held.add(name)
+            self.held[name] = 1
         return acquired
 
     def acquire(self, name: str) -> None:
@@ -66,18 +73,36 @@ class LockManager:
                 self.sim.advance(self.retry_interval)
         raise LockHeldError(f"lock {name!r} is held by another client")
 
-    def release(self, name: str) -> None:
-        """Release a lock previously acquired by this manager."""
+    def release(self, name: str) -> bool:
+        """Release one acquisition of ``name``.
+
+        Returns True when this was the last outstanding acquisition (the lock
+        was actually returned to the coordination service), False when the
+        lock stays held by a remaining re-entrant acquisition.
+        """
         if name not in self.held:
             raise NotLockOwnerError(f"this session does not hold lock {name!r}")
+        self.held[name] -= 1
+        if self.held[name] > 0:
+            return False
+        del self.held[name]
         self.service.unlock(name, self.session)
-        self.held.discard(name)
+        return True
 
     def release_all(self) -> None:
-        """Release every lock held by this manager (used on unmount/crash cleanup)."""
+        """Release every lock held by this manager (used on unmount/crash cleanup).
+
+        Collapses any re-entrant counts: unmount means the client is done with
+        all of its files, so each lock is returned in one step.
+        """
         for name in list(self.held):
+            self.held[name] = 1
             self.release(name)
 
     def holds(self, name: str) -> bool:
         """True if this manager currently believes it holds ``name``."""
         return name in self.held
+
+    def hold_count(self, name: str) -> int:
+        """Number of outstanding acquisitions of ``name`` by this session."""
+        return self.held.get(name, 0)

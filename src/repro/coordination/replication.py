@@ -20,6 +20,7 @@ substrate with the same failure and latency envelope that SCFS assumes.
 
 from __future__ import annotations
 
+import copy
 import enum
 from typing import Any, Callable, Protocol
 
@@ -100,12 +101,21 @@ class ReplicatedStateMachine:
         self._crashed.add(index)
 
     def recover_replica(self, index: int) -> None:
-        """Recover a crashed or Byzantine replica.
+        """Recover a crashed or Byzantine replica via state transfer.
 
-        The recovered replica is state-transferred from a correct one by
-        re-marking it correct — the deterministic state machines never diverged
-        because commands are only applied to correct replicas.
+        A faulty replica missed every command applied while it was out (and a
+        Byzantine one may hold arbitrary state), so simply re-marking it
+        correct would re-admit a *diverged* state machine — and ``invoke``
+        answers from the first correct replica, so a stale recovered replica
+        could serve vanished locks and old metadata.  As in BFT-SMaRt, the
+        recovering replica first installs a snapshot of a correct peer's
+        state; only if no correct peer exists (beyond the fault budget) does
+        it rejoin with the state it has.
         """
+        if index in self.faulty_replicas:
+            correct = self.correct_replicas
+            if correct:
+                self.replicas[index] = copy.deepcopy(self.replicas[correct[0]])
         self._crashed.discard(index)
         self._byzantine.discard(index)
 

@@ -31,6 +31,7 @@ import contextlib
 import enum
 import itertools
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.common.errors import (
     FileNotFoundErrorFS,
@@ -42,7 +43,7 @@ from repro.common.errors import (
     ObjectNotFoundError,
     PermissionDeniedError,
 )
-from repro.common.types import ObjectRef, Permission, Principal, fresh_id
+from repro.common.types import ObjectRef, Permission, Principal
 from repro.coordination.base import CoordinationService
 from repro.core.backend import StorageBackend
 from repro.core.cache import MetadataCache, make_disk_cache, make_memory_cache
@@ -104,6 +105,14 @@ class AgentStatistics:
     extra: dict[str, int] = field(default_factory=dict)
 
 
+#: Signature of the agent's optional event sink: ``sink(kind, **fields)``.
+#: The agent stamps every event with ``agent`` (principal name) and ``time``
+#: (simulated seconds); the remaining fields are event-specific scalars.  The
+#: scenario engine's :class:`~repro.scenarios.trace.TraceRecorder` is the main
+#: consumer, but any callable works (hooks cost nothing when unset).
+EventSink = Callable[..., Any]
+
+
 class SCFSAgent:
     """The user-space file-system client mounted at one user's machine."""
 
@@ -114,6 +123,7 @@ class SCFSAgent:
         principal: Principal,
         backend: StorageBackend,
         coordination: CoordinationService | None = None,
+        events: EventSink | None = None,
     ):
         config.validate()
         if config.mode.uses_coordination and coordination is None:
@@ -125,12 +135,18 @@ class SCFSAgent:
         self.principal = principal
         self.backend = backend
         self.coordination = coordination if config.mode.uses_coordination else None
+        self.events = events
         self.stats = AgentStatistics()
         self._handles: dict[int, OpenFile] = {}
         self._next_handle = itertools.count(3)  # 0-2 "taken" by stdio, as in POSIX
         #: Files whose upload/metadata commit is still pending in the background
         #: (non-blocking and non-sharing modes); rename must redirect them.
         self._pending_commits: list[OpenFile] = []
+        #: Per-file completion time of the latest scheduled background upload:
+        #: uploads of the same file complete in submission order (a smaller
+        #: later version must not overtake and then be clobbered by an earlier
+        #: bigger one committing its metadata last).
+        self._upload_fronts: dict[str, float] = {}
         #: (file, user) pairs whose cloud-side ACL this agent already re-applied.
         self._acl_propagated: set[str] = set()
         self._mounted = False
@@ -165,9 +181,20 @@ class SCFSAgent:
             read_retry_limit=config.read_retry_limit,
         )
         self.locks = LockService(sim, self.coordination, self.session)
+        self.locks.on_transition = self._lock_transition
         self.gc = GarbageCollector(sim, config.gc, self.metadata, self.storage, backend)
 
         self.mount()
+
+    # ------------------------------------------------------------------ events
+
+    def _emit(self, kind: str, **fields) -> None:
+        """Send one event to the attached sink (no-op without one)."""
+        if self.events is not None:
+            self.events(kind, agent=self.principal.name, time=self.sim.now(), **fields)
+
+    def _lock_transition(self, kind: str, lock_name: str) -> None:
+        self._emit(kind, lock=lock_name)
 
     # ------------------------------------------------------------------ mount
 
@@ -237,7 +264,15 @@ class SCFSAgent:
         self.stats.opens += 1
         path = normalize_path(path)
         user = self.principal.name
+        wants_write = bool(flags & (OpenFlags.WRITE | OpenFlags.TRUNCATE))
+        began = self.sim.now()
 
+        # The cache is fine for this first look: it only decides existence,
+        # permissions and the lock name.  Writers must base the new version on
+        # the *latest anchored* metadata — the cache may lag a concurrent
+        # close by up to its expiration and the write lock alone does not
+        # refresh it — but that authoritative read happens *after* the lock is
+        # held (below), so it is not paid twice here.
         meta = self.metadata.lookup(path)
         created = False
         if meta is None or meta.deleted:
@@ -247,14 +282,21 @@ class SCFSAgent:
             now = self.sim.now()
             meta = FileMetadata(
                 path=path, file_type=FileType.FILE, owner=user,
-                created_at=now, modified_at=now, file_id=fresh_id("file"),
+                created_at=now, modified_at=now, file_id=self.sim.fresh_id("file"),
             )
             self.metadata.create(meta, shared=shared)
             created = True
+        else:
+            # A non-blocking commit of this path may still be in flight: its
+            # version is newer than anything the anchor knows yet, and this
+            # agent must read its own writes (and must not base a new version
+            # on the pre-upload state, which would lose the pending update).
+            pending = self._pending_commit_for(path)
+            if pending is not None:
+                meta = pending.metadata.copy()
         if meta.is_directory:
             raise IsADirectoryErrorFS(f"is a directory: {path}")
 
-        wants_write = bool(flags & (OpenFlags.WRITE | OpenFlags.TRUNCATE))
         needed = Permission.WRITE if wants_write else Permission.READ
         if not meta.allows(user, needed):
             raise PermissionDeniedError(f"{user} lacks {needed} permission on {path}")
@@ -269,20 +311,60 @@ class SCFSAgent:
             except Exception:
                 self.stats.lock_conflicts += 1
                 raise
+        try:
+            if locked and not created:
+                # Acquiring the lock takes one coordination round trip, during
+                # which the previous holder's in-flight commit may land: the
+                # (possibly cached) metadata snapshot from before the
+                # acquisition can be stale, and writing on top of it would
+                # fork the version history (a lost update despite mutual
+                # exclusion).  The lock is the serialization point, so the
+                # anchored metadata is re-validated *after* it is held.
+                refreshed = self.metadata.lookup(path, use_cache=False)
+                if refreshed is not None and not refreshed.deleted:
+                    if refreshed.file_id != meta.file_id:
+                        # The path was deleted and recreated while this open
+                        # was in flight: the lock taken above guards the old
+                        # incarnation's id, so move it to the current one.
+                        self.locks.release(meta)
+                        locked = self.locks.acquire(refreshed)
+                    meta = refreshed
+                pending = self._pending_commit_for(path)
+                if pending is not None:
+                    meta = pending.metadata.copy()
 
-        if flags & OpenFlags.TRUNCATE or (created and not meta.digest):
-            buffer = bytearray()
-            dirty = bool(flags & OpenFlags.TRUNCATE) and bool(meta.digest)
-        else:
-            outcome = self.storage.read_version(meta.file_id, meta.digest, meta.size)
-            buffer = bytearray(outcome.data)
-            dirty = False
+            served = False
+            if flags & OpenFlags.TRUNCATE or (created and not meta.digest):
+                buffer = bytearray()
+                dirty = bool(flags & OpenFlags.TRUNCATE) and bool(meta.digest)
+            else:
+                outcome = self.storage.read_version(meta.file_id, meta.digest, meta.size)
+                buffer = bytearray(outcome.data)
+                dirty = False
+                served = True
+        except Exception:
+            # The handle never materialises, so no close() could ever release
+            # the lock: give it back before surfacing the error (a leak here
+            # would block every other writer until this agent unmounts).
+            if locked:
+                self.locks.release(meta)
+            raise
 
         handle = next(self._next_handle)
         self._handles[handle] = OpenFile(
             handle=handle, metadata=meta, flags=flags, buffer=buffer,
             dirty=dirty or (created and False), locked=locked, private=private,
         )
+        # ``served`` marks opens whose buffer was loaded from the anchored
+        # version (the digest below) — the events the consistency-on-close
+        # invariant checker inspects.  Truncating/creating opens serve nothing.
+        # ``began`` is when the metadata snapshot deciding the served version
+        # was taken: the event itself is emitted only after the (possibly
+        # multi-second) data fetch, and freshness must be judged against the
+        # snapshot, not the fetch completion.
+        self._emit("open", path=path, file_id=meta.file_id, digest=meta.digest,
+                   version=meta.data_version, served=served, write=wants_write,
+                   created=created, locked=locked, handle=handle, began=began)
         return handle
 
     def create(self, path: str, data: bytes = b"", shared: bool = False) -> int:
@@ -306,7 +388,10 @@ class SCFSAgent:
         # memory access for the copy.
         self.memory_cache.get(self._memory_key(of))
         end = len(of.buffer) if size < 0 else min(len(of.buffer), offset + size)
-        return bytes(of.buffer[offset:end])
+        data = bytes(of.buffer[offset:end])
+        self._emit("read", path=of.metadata.path, handle=handle, offset=offset,
+                   size=len(data))
+        return data
 
     def write(self, handle: int, data: bytes, offset: int | None = None) -> int:
         """Write into the in-memory copy of an open file (durability level 0)."""
@@ -326,6 +411,8 @@ class SCFSAgent:
         self.memory_cache.put(self._memory_key(of), bytes(of.buffer))
         of.metadata.touch(self.sim.now(), size=len(of.buffer))
         self.metadata_cache.put(of.metadata.path, of.metadata.copy())
+        self._emit("write", path=of.metadata.path, handle=handle, offset=offset,
+                   size=len(data))
         return len(data)
 
     def truncate(self, handle: int, length: int = 0) -> None:
@@ -345,6 +432,14 @@ class SCFSAgent:
     def _memory_key(self, of: OpenFile) -> str:
         return f"{of.metadata.file_id}#open"
 
+    def _pending_commit_for(self, path: str) -> OpenFile | None:
+        """The newest in-flight background commit of ``path``, if any."""
+        newest: OpenFile | None = None
+        for pending in self._pending_commits:
+            if pending.metadata.path == path:
+                newest = pending
+        return newest
+
     # ------------------------------------------------------------------- fsync
 
     def fsync(self, handle: int) -> None:
@@ -358,6 +453,8 @@ class SCFSAgent:
         if digest != of.fsynced_digest:
             self.storage.flush_to_disk(of.metadata.file_id, digest, data)
             of.fsynced_digest = digest
+            self._emit("fsync", path=of.metadata.path, handle=handle, digest=digest,
+                       size=len(data))
 
     # ------------------------------------------------------------------- close
 
@@ -370,6 +467,9 @@ class SCFSAgent:
             raise InvalidHandleError(f"unknown or closed file handle {handle}")
         self.memory_cache.remove(self._memory_key(of))
         if not of.dirty or not of.writable:
+            self._emit("close", path=of.metadata.path, file_id=of.metadata.file_id,
+                       handle=handle, dirty=False, digest=of.metadata.digest,
+                       version=of.metadata.data_version)
             if of.locked:
                 self.locks.release(of.metadata)
             return
@@ -381,6 +481,9 @@ class SCFSAgent:
         meta.size = len(data)
         meta.modified_at = self.sim.now()
         meta.data_version += 1
+        self._emit("close", path=meta.path, file_id=meta.file_id, handle=handle,
+                   dirty=True, digest=digest, version=meta.data_version,
+                   size=len(data), blocking=self.config.mode.blocks_on_close)
 
         # Step 1 (all modes): the updated data is copied to the local disk and
         # kept in the local caches under its new version key.
@@ -395,9 +498,14 @@ class SCFSAgent:
 
     def _commit_blocking(self, of: OpenFile, data: bytes) -> None:
         meta = of.metadata
-        ref = self.storage.push_to_cloud(meta.file_id, data)
+        ref = self.storage.push_to_cloud(meta.file_id, data,
+                                         min_version=meta.data_version)
+        self._emit("upload", path=meta.path, file_id=meta.file_id, digest=ref.digest,
+                   version=meta.data_version, background=False)
         self._propagate_cloud_acls(meta)
         self._apply_committed_metadata(of, ref, charge=True)
+        self._emit("commit", path=meta.path, file_id=meta.file_id, digest=meta.digest,
+                   version=meta.data_version, background=False)
         if of.locked:
             self.locks.release(meta)
 
@@ -433,6 +541,12 @@ class SCFSAgent:
         """Non-blocking / non-sharing close: upload and metadata update in background."""
         meta = of.metadata
         delay = self.backend.estimate_write_latency(len(data))
+        completion = self.sim.now() + delay
+        front = self._upload_fronts.get(meta.file_id, 0.0)
+        if completion < front:
+            completion = front
+        self._upload_fronts[meta.file_id] = completion
+        delay = completion - self.sim.now()
         self.stats.pending_uploads += 1
         self._pending_commits.append(of)
         # The local caches already hold the new version, so the *local* user
@@ -446,10 +560,15 @@ class SCFSAgent:
             if of in self._pending_commits:
                 self._pending_commits.remove(of)
             with self._coordination_uncharged():
-                ref = self.storage.push_to_cloud_uncharged(meta.file_id, data)
+                ref = self.storage.push_to_cloud_uncharged(
+                    meta.file_id, data, min_version=meta.data_version)
+                self._emit("upload", path=meta.path, file_id=meta.file_id,
+                           digest=ref.digest, version=meta.data_version, background=True)
                 with self.backend.uncharged():
                     self._propagate_cloud_acls(meta)
                 self._apply_committed_metadata(of, ref, charge=False)
+                self._emit("commit", path=meta.path, file_id=meta.file_id,
+                           digest=meta.digest, version=meta.data_version, background=True)
                 if of.locked:
                     self.locks.release(of.metadata)
 
@@ -478,6 +597,14 @@ class SCFSAgent:
             # the snapshot taken at close time.  (Blocking commits cannot
             # race: the agent is single-threaded while close() runs.)
             latest = self.metadata.lookup(meta.path, use_cache=False)
+            if latest is not None and latest.file_id != meta.file_id:
+                # The path was unlinked and recreated while the upload was in
+                # flight: the entry now describes a *different* file.  This
+                # commit belongs to the dead incarnation — its version is in
+                # the cloud(s), but it must neither overwrite the new file's
+                # entry nor fail the new entry's ACL check.
+                meta.deleted = True
+                return
             if latest is not None:
                 meta.grants = dict(latest.grants)
                 meta.deleted = latest.deleted
@@ -553,6 +680,7 @@ class SCFSAgent:
         if not meta.allows(self.principal.name, Permission.WRITE):
             raise PermissionDeniedError(f"cannot remove {path}")
         self.metadata.mark_deleted(meta)
+        self._emit("unlink", path=path, file_id=meta.file_id)
 
     def rename(self, old_path: str, new_path: str) -> None:
         """Rename a file or directory."""

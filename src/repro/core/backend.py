@@ -96,8 +96,15 @@ class StorageBackend(abc.ABC):
     name: str = "abstract"
 
     @abc.abstractmethod
-    def write_version(self, file_id: str, data: bytes) -> ObjectRef:
-        """Store ``data`` as a new version of ``file_id``; returns its reference."""
+    def write_version(self, file_id: str, data: bytes,
+                      min_version: int | None = None) -> ObjectRef:
+        """Store ``data`` as a new version of ``file_id``; returns its reference.
+
+        ``min_version`` is a lower bound on the backend's internal version
+        number, supplied by callers that hold a strongly consistent version
+        counter (the agent passes the anchored ``data_version``); backends
+        without version counters ignore it.
+        """
 
     @abc.abstractmethod
     def read_version(self, file_id: str, digest: str) -> bytes:
@@ -109,8 +116,14 @@ class StorageBackend(abc.ABC):
         """
 
     @abc.abstractmethod
-    def delete_version(self, file_id: str, digest: str) -> None:
-        """Delete one version (used by the garbage collector)."""
+    def delete_version(self, file_id: str, digest: str,
+                       anchored_digest: str | None = None) -> None:
+        """Delete one version (used by the garbage collector).
+
+        ``anchored_digest`` names the version the caller knows to be current;
+        backends with shared metadata use it to refuse rewrites from a stale
+        history (see :meth:`DepSkyClient.delete_version`).
+        """
 
     @abc.abstractmethod
     def list_versions(self, file_id: str) -> list[ObjectRef]:
@@ -210,7 +223,10 @@ class SingleCloudBackend(StorageBackend):
 
     # -- StorageBackend --------------------------------------------------------
 
-    def write_version(self, file_id: str, data: bytes) -> ObjectRef:
+    def write_version(self, file_id: str, data: bytes,
+                      min_version: int | None = None) -> ObjectRef:
+        # min_version is irrelevant here: each version is its own digest-named
+        # object, so concurrent writers cannot clobber one another's versions.
         digest = content_digest(data)
         self._observed(lambda: self.store.put(self._key(file_id, digest), data, self.principal))
         return ObjectRef(key=file_id, digest=digest, size=len(data))
@@ -226,7 +242,8 @@ class SingleCloudBackend(StorageBackend):
             )
         return data
 
-    def delete_version(self, file_id: str, digest: str) -> None:
+    def delete_version(self, file_id: str, digest: str,
+                       anchored_digest: str | None = None) -> None:
         self.store.delete(self._key(file_id, digest), self.principal)
 
     def list_versions(self, file_id: str) -> list[ObjectRef]:
@@ -313,8 +330,9 @@ class CloudOfCloudsBackend(StorageBackend):
 
     # -- StorageBackend ----------------------------------------------------------
 
-    def write_version(self, file_id: str, data: bytes) -> ObjectRef:
-        record = self.client.write(file_id, data)
+    def write_version(self, file_id: str, data: bytes,
+                      min_version: int | None = None) -> ObjectRef:
+        record = self.client.write(file_id, data, min_version=min_version)
         return ObjectRef(key=file_id, digest=record.data_digest, size=record.size)
 
     def read_version(self, file_id: str, digest: str) -> bytes:
@@ -322,10 +340,12 @@ class CloudOfCloudsBackend(StorageBackend):
         self.read_paths.record(result)
         return result.data
 
-    def delete_version(self, file_id: str, digest: str) -> None:
+    def delete_version(self, file_id: str, digest: str,
+                       anchored_digest: str | None = None) -> None:
         for record in self.client.list_versions(file_id):
             if record.data_digest == digest:
-                self.client.delete_version(file_id, record.version)
+                self.client.delete_version(file_id, record.version,
+                                           anchored_digest=anchored_digest)
 
     def list_versions(self, file_id: str) -> list[ObjectRef]:
         records = sorted(self.client.list_versions(file_id), key=lambda r: r.version)

@@ -119,8 +119,13 @@ class SCFSDeployment:
             dispatch=self.config.dispatch,
         )
 
-    def create_agent(self, username: str, config: SCFSConfig | None = None) -> SCFSFileSystem:
-        """Mount the file system for ``username`` and return its façade."""
+    def create_agent(self, username: str, config: SCFSConfig | None = None,
+                     events=None) -> SCFSFileSystem:
+        """Mount the file system for ``username`` and return its façade.
+
+        ``events`` is an optional :data:`~repro.core.agent.EventSink` receiving
+        the agent's operation events (the scenario engine's trace recorder).
+        """
         principal = self._principal(username)
         agent = SCFSAgent(
             sim=self.sim,
@@ -128,6 +133,7 @@ class SCFSDeployment:
             principal=principal,
             backend=self._backend_for(principal),
             coordination=self.coordination,
+            events=events,
         )
         filesystem = SCFSFileSystem(agent)
         self.filesystems[username] = filesystem

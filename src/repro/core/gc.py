@@ -129,6 +129,9 @@ class GarbageCollector:
     def _collect_file(self, meta, report: GCReport) -> None:
         versions = self.backend.list_versions(meta.file_id)
         if meta.deleted and self.policy.purge_deleted_files:
+            # No anchored-digest guard here: the file is deleted, so no reader
+            # anchors any of its versions, and the guard would stop the purge
+            # as soon as the current version's own record was removed.
             for ref in versions:
                 self.backend.delete_version(meta.file_id, ref.digest)
                 self.storage.forget(meta.file_id, ref.digest)
@@ -156,7 +159,12 @@ class GarbageCollector:
         for ref in versions:
             if ref.digest in keep:
                 continue
-            self.backend.delete_version(meta.file_id, ref.digest)
+            # ``anchored_digest`` lets the backend refuse to rewrite shared
+            # metadata from a history that does not yet include the current
+            # anchored version (eventual-consistency lag) — rewriting from it
+            # would erase the freshly committed record.
+            self.backend.delete_version(meta.file_id, ref.digest,
+                                        anchored_digest=meta.digest)
             self.storage.forget(meta.file_id, ref.digest)
             report.versions_deleted += 1
             report.bytes_reclaimed += ref.size

@@ -14,6 +14,8 @@ definition cannot conflict with itself across agents sharing nothing).
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.common.errors import LockHeldError
 from repro.coordination.base import CoordinationService, Session
 from repro.coordination.locks import LockManager
@@ -34,6 +36,12 @@ class LockService:
     ):
         self.sim = sim
         self.coordination = coordination
+        #: Optional observer of *actual* lock transitions, called as
+        #: ``on_transition(kind, lock_name)`` with kind ``"lock"`` when the
+        #: session first acquires a lock and ``"unlock"`` when the last
+        #: re-entrant acquisition is released.  The scenario engine's trace
+        #: recorder hooks in here.
+        self.on_transition: Callable[[str, str], None] | None = None
         self._manager: LockManager | None = None
         if coordination is not None and session is not None:
             self._manager = LockManager(
@@ -66,6 +74,8 @@ class LockService:
         name = self.lock_name(metadata)
         if not self._manager.try_acquire(name):
             raise LockHeldError(f"{metadata.path} is locked for writing by another client")
+        if self.on_transition is not None and self._manager.hold_count(name) == 1:
+            self.on_transition("lock", name)
         return True
 
     def release(self, metadata: FileMetadata) -> None:
@@ -74,12 +84,19 @@ class LockService:
             return
         name = self.lock_name(metadata)
         if self._manager.holds(name):
-            self._manager.release(name)
+            released = self._manager.release(name)
+            if released and self.on_transition is not None:
+                self.on_transition("unlock", name)
 
     def release_all(self) -> None:
         """Release every lock held by this agent (unmount path)."""
-        if self._manager is not None:
-            self._manager.release_all()
+        if self._manager is None:
+            return
+        names = list(self._manager.held)
+        self._manager.release_all()
+        if self.on_transition is not None:
+            for name in names:
+                self.on_transition("unlock", name)
 
     def holds(self, metadata: FileMetadata) -> bool:
         """True if this agent currently holds the write lock of ``metadata``."""

@@ -126,14 +126,20 @@ class StorageService:
         """Write a file's data to the local disk cache (fsync path, level 1)."""
         self.disk.put(cache_key(file_id, digest), data)
 
-    def push_to_cloud(self, file_id: str, data: bytes) -> ObjectRef:
-        """Synchronously upload a new version to the cloud backend (levels 2/3)."""
-        ref = self.backend.write_version(file_id, data)
+    def push_to_cloud(self, file_id: str, data: bytes,
+                      min_version: int | None = None) -> ObjectRef:
+        """Synchronously upload a new version to the cloud backend (levels 2/3).
+
+        ``min_version`` is the anchored version number of the new version
+        (see :meth:`StorageBackend.write_version`).
+        """
+        ref = self.backend.write_version(file_id, data, min_version=min_version)
         self.cloud_writes += 1
         self.bytes_pushed += len(data)
         return ref
 
-    def push_to_cloud_uncharged(self, file_id: str, data: bytes) -> ObjectRef:
+    def push_to_cloud_uncharged(self, file_id: str, data: bytes,
+                                min_version: int | None = None) -> ObjectRef:
         """Upload without advancing the simulated clock (background uploads).
 
         The caller is responsible for modelling *when* the upload completes
@@ -141,7 +147,7 @@ class StorageService:
         ``now + backend.estimate_write_latency(len(data))``).
         """
         with self.backend.uncharged():
-            ref = self.backend.write_version(file_id, data)
+            ref = self.backend.write_version(file_id, data, min_version=min_version)
         self.cloud_writes += 1
         self.bytes_pushed += len(data)
         return ref

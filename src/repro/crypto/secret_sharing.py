@@ -44,11 +44,14 @@ def split_secret(secret: bytes, n: int, t: int, rng: random.Random | None = None
         Threshold; ``1 <= t <= n``.
     rng:
         Source of randomness for the polynomial coefficients.  Passing the
-        simulation RNG keeps runs deterministic.
+        simulation RNG keeps runs deterministic; when omitted the system
+        entropy source is used (never an unseeded ``random.Random()``, which
+        would be both weaker and a hidden nondeterminism seam — DepSky always
+        threads the simulation RNG through).
     """
     if not 1 <= t <= n <= 255:
         raise ValueError(f"invalid secret-sharing parameters n={n}, t={t}")
-    rng = rng or random.Random()
+    rng = rng or random.SystemRandom()
     # One random polynomial per secret byte; coefficient 0 is the secret byte.
     coefficients = np.array(
         [[byte] + [rng.randrange(256) for _ in range(t - 1)] for byte in secret],

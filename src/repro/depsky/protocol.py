@@ -59,6 +59,7 @@ benchmark reports.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from dataclasses import dataclass, field
 
@@ -86,6 +87,24 @@ from repro.simenv.environment import Simulation
 
 #: Block object header: share x-coordinate (1 byte) + share length (2 bytes).
 _BLOCK_HEADER = struct.Struct(">BH")
+
+
+def block_blob_digest(share: "SecretShare", payload: bytes) -> str:
+    """Digest of one stored block object — header ‖ share ‖ coded payload.
+
+    The version record's ``block_digests`` cover the *whole* stored blob, not
+    just the erasure-coded payload: the key share travels in the same object,
+    and an unverified share lets a faulty cloud serve a perfectly valid block
+    with a corrupted share, poisoning the reconstructed key (the decrypt then
+    fails its authentication tag *after* the quorum already accepted the
+    block).  Hashing the blob makes the share self-verifying, so a bad share
+    fails the digest check and the fetch falls back to another cloud.
+    """
+    digest = hashlib.sha256()
+    digest.update(_BLOCK_HEADER.pack(share.x, len(share.data)))
+    digest.update(share.data)
+    digest.update(payload)
+    return digest.hexdigest()
 
 
 @dataclass
@@ -176,6 +195,23 @@ class DepSkyClient:
         self.policy = policy
         self.health = health
         self.coder = ErasureCoder(n=self.n, k=self.k)
+        #: Last metadata this client successfully wrote, per unit, paired
+        #: with its *knowledge floor* — the highest version number the client
+        #: had seen when it wrote it.  The cloud metadata object is eventually
+        #: consistent: re-reading it within the propagation window of our own
+        #: put returns the *previous* history, and a read-modify-write from
+        #: that stale copy would clobber the version we just committed (or
+        #: resurrect records a delete already pruned).  Our own writes are
+        #: trusted, so the cache gives this client read-your-writes on its
+        #: metadata; a visible copy only wins when its latest version exceeds
+        #: the floor (i.e. *another* client has written since).
+        self._last_written: dict[str, tuple[int, DataUnitMetadata]] = {}
+        #: Optional observer of every resolved quorum call, invoked as
+        #: ``on_quorum(op, unit_id, stats)`` with ``op`` one of ``meta_read``,
+        #: ``block_put``, ``meta_put``, ``block_get``, ``block_delete``,
+        #: ``acl``.  The scenario engine's trace recorder taps in here to
+        #: record per-cloud outcomes alongside the file-system events.
+        self.on_quorum = None
 
     # ------------------------------------------------------------------ keys
 
@@ -198,6 +234,11 @@ class DepSkyClient:
         """Advance the clock by the simulated wait of one quorum call."""
         if self.charge_latency and stats.charged > 0:
             self.sim.advance(stats.charged)
+
+    def _tap(self, op: str, unit_id: str, stats: QuorumCallStats) -> None:
+        """Report one resolved quorum call to the attached observer (if any)."""
+        if self.on_quorum is not None:
+            self.on_quorum(op, unit_id, stats)
 
     def _request_latency(self, cloud: ObjectStore, kind: str, payload: int) -> float:
         """Sample one request's latency against ``cloud`` (degradation-aware)."""
@@ -248,7 +289,8 @@ class DepSkyClient:
 
     # -------------------------------------------------------------- metadata
 
-    def _read_metadata(self, unit_id: str) -> tuple[DataUnitMetadata | None, QuorumCallStats]:
+    def _read_metadata(self, unit_id: str,
+                       use_cached: bool = True) -> tuple[DataUnitMetadata | None, QuorumCallStats]:
         """Read the clouds' metadata copies through one quorum call.
 
         Returns the *agreed* metadata — the copy containing the highest version
@@ -257,6 +299,12 @@ class DepSkyClient:
         charged wait is the ``k``-th successful response; late copies still
         participate in the agreement (they model responses that trickle in
         while the client already proceeds).
+
+        ``use_cached`` merges this client's last *written* metadata when it is
+        newer than anything visible (read-your-writes for the mutation paths:
+        read-modify-writes must never roll the history back just because the
+        clouds have not propagated our own put yet).  Pure read paths pass
+        ``False``: they must reflect what the clouds actually serve.
         """
         key = self._meta_key(unit_id)
 
@@ -268,40 +316,61 @@ class DepSkyClient:
 
         call = self._call().stage([self._get_request(c, key, parse) for c in self.clouds])
         stats = call.execute(required=self.k)
+        self._tap("meta_read", unit_id, stats)
         copies = [trace.value[0] for trace in stats.successes]
-        if not copies:
-            return None, stats
-        # Count confirmations of each (version, digest) pair across clouds.
-        confirmations: dict[tuple[int, str], int] = {}
-        for copy in copies:
-            for record in copy.versions:
-                pair = (record.version, record.data_digest)
-                confirmations[pair] = confirmations.get(pair, 0) + 1
-        agreed_pairs = {pair for pair, count in confirmations.items() if count >= self.k}
         best: DataUnitMetadata | None = None
         best_version = -1
-        for copy in copies:
-            latest = copy.latest()
-            if latest is None:
-                continue
-            pair = (latest.version, latest.data_digest)
-            if (pair in agreed_pairs or len(copies) < self.k) and latest.version > best_version:
-                best, best_version = copy, latest.version
-        return best or copies[0], stats
+        if copies:
+            # Count confirmations of each (version, digest) pair across clouds.
+            confirmations: dict[tuple[int, str], int] = {}
+            for copy in copies:
+                for record in copy.versions:
+                    pair = (record.version, record.data_digest)
+                    confirmations[pair] = confirmations.get(pair, 0) + 1
+            agreed_pairs = {pair for pair, count in confirmations.items() if count >= self.k}
+            for copy in copies:
+                latest = copy.latest()
+                if latest is None:
+                    continue
+                pair = (latest.version, latest.data_digest)
+                if (pair in agreed_pairs or len(copies) < self.k) and latest.version > best_version:
+                    best, best_version = copy, latest.version
+            best = best or copies[0]
+        entry = self._last_written.get(unit_id) if use_cached else None
+        if entry is not None:
+            floor, cached = entry
+            if best_version <= floor:
+                # Nothing visible is newer than what this client already
+                # wrote (propagation lag, or no copy visible at all): trust
+                # our own copy instead of rolling the history back.  A
+                # visible latest beyond the floor means another client wrote
+                # since, and the cloud copy wins.
+                best = DataUnitMetadata.from_bytes(cached.to_bytes())
+        return best, stats
 
     # ------------------------------------------------------------------ write
 
-    def write(self, unit_id: str, data: bytes) -> VersionRecord:
+    def write(self, unit_id: str, data: bytes, min_version: int | None = None) -> VersionRecord:
         """Write a new version of ``unit_id`` containing ``data``.
 
         Returns the version record (whose ``data_digest`` the SCFS metadata
         service will anchor in the coordination service).
+
+        ``min_version`` is a lower bound on the new version number, supplied
+        by a caller holding a strongly consistent counter (SCFS passes the
+        anchored ``data_version``).  It guards against the eventual
+        consistency of the metadata object: two commits of the same unit
+        within one propagation window would otherwise both read the stale
+        history and mint the *same* version number — the second silently
+        overwriting the first one's blocks and metadata record.
         """
         metadata, meta_stats = self._read_metadata(unit_id)
         self._charge(meta_stats)
         if metadata is None:
             metadata = DataUnitMetadata(unit_id=unit_id)
         version = metadata.next_version()
+        if min_version is not None and min_version > version:
+            version = min_version
 
         payload = data
         shares: list[SecretShare] | None = None
@@ -312,11 +381,18 @@ class DepSkyClient:
             shares = split_secret(key, self.n, self.k, self.sim.rng)
 
         blocks = self.coder.encode(payload)
+
+        def share_for(index: int) -> SecretShare:
+            return shares[index] if shares is not None else SecretShare(x=index + 1, data=b"")
+
         record = VersionRecord(
             version=version,
             data_digest=content_digest(data),
             size=len(data),
-            block_digests=tuple(content_digest(b.payload) for b in blocks),
+            block_digests=tuple(
+                block_blob_digest(share_for(i), block.payload)
+                for i, block in enumerate(blocks)
+            ),
             created_at=self.sim.now(),
             writer=self.principal.name,
         )
@@ -326,7 +402,7 @@ class DepSkyClient:
         def block_put(index: int) -> QuorumRequest:
             cloud = self.clouds[index]
             key = self._block_key(unit_id, version, index)
-            share = shares[index] if shares is not None else SecretShare(x=index + 1, data=b"")
+            share = share_for(index)
             blob_len = _BLOCK_HEADER.size + len(share.data) + len(blocks[index].payload)
 
             # The blob is concatenated inside ``send`` so that fallback-stage
@@ -351,6 +427,7 @@ class DepSkyClient:
         if data_targets < self.n:
             call.stage([block_put(i) for i in range(data_targets, self.n)])
         put_stats = call.execute(required=required_acks)
+        self._tap("block_put", unit_id, put_stats)
         if not put_stats.reached:
             raise QuorumNotReachedError(
                 f"only {len(put_stats.successes)} clouds acknowledged the data blocks of {unit_id!r}",
@@ -362,12 +439,15 @@ class DepSkyClient:
             [self._put_request(c, self._meta_key(unit_id), meta_blob) for c in self.clouds]
         )
         meta_put_stats = meta_call.execute(required=self.n - self.f)
+        self._tap("meta_put", unit_id, meta_put_stats)
         if not meta_put_stats.reached:
             raise QuorumNotReachedError(
                 f"only {len(meta_put_stats.successes)} clouds acknowledged the metadata of {unit_id!r}",
                 responses=len(meta_put_stats.successes), required=self.n - self.f,
             )
         self._charge(meta_put_stats)
+        self._last_written[unit_id] = (
+            version, DataUnitMetadata.from_bytes(metadata.to_bytes()))
         return record
 
     # ------------------------------------------------------------------- read
@@ -380,13 +460,16 @@ class DepSkyClient:
         def parse(blob: bytes) -> tuple[CodedBlock, SecretShare]:
             if len(blob) < _BLOCK_HEADER.size:
                 raise IntegrityError(f"truncated block object {key!r} from {cloud.name}")
-            x, share_len = _BLOCK_HEADER.unpack_from(blob)
-            share_data = blob[_BLOCK_HEADER.size:_BLOCK_HEADER.size + share_len]
-            payload = blob[_BLOCK_HEADER.size + share_len:]
-            if index < len(record.block_digests) and content_digest(payload) != record.block_digests[index]:
+            # The digest covers the whole blob (header ‖ share ‖ payload), so
+            # a corrupted *share* is rejected here too — not only a corrupted
+            # coded payload (see :func:`block_blob_digest`).
+            if index < len(record.block_digests) and content_digest(blob) != record.block_digests[index]:
                 # Corrupted or Byzantine answer — this cloud's block does not
                 # count towards the quorum (but its fetch still took time).
                 raise IntegrityError(f"block {index} of {unit_id!r} failed its digest check at {cloud.name}")
+            x, share_len = _BLOCK_HEADER.unpack_from(blob)
+            share_data = blob[_BLOCK_HEADER.size:_BLOCK_HEADER.size + share_len]
+            payload = blob[_BLOCK_HEADER.size + share_len:]
             return CodedBlock(index=index, payload=payload), SecretShare(x=x, data=share_data)
 
         return self._get_request(cloud, key, parse)
@@ -406,7 +489,9 @@ class DepSkyClient:
         )
         if self.k < self.n:
             call.stage([self._block_get_request(unit_id, record, i) for i in range(self.k, self.n)])
-        return call.execute(required=self.k)
+        stats = call.execute(required=self.k)
+        self._tap("block_get", unit_id, stats)
+        return stats
 
     def _assemble(self, unit_id: str, record: VersionRecord,
                   meta_stats: QuorumCallStats | None = None) -> DepSkyReadResult:
@@ -438,7 +523,7 @@ class DepSkyClient:
 
     def read_latest(self, unit_id: str) -> DepSkyReadResult:
         """Read the most recent version of ``unit_id`` (classic DepSky read)."""
-        metadata, meta_stats = self._read_metadata(unit_id)
+        metadata, meta_stats = self._read_metadata(unit_id, use_cached=False)
         self._charge(meta_stats)
         if metadata is None or metadata.latest() is None:
             raise ObjectNotFoundError(f"data unit {unit_id!r} has no visible version")
@@ -454,7 +539,7 @@ class DepSkyClient:
         copy listing the requested digest — the caller retries, implementing
         the ``do ... while`` loop of Figure 3.
         """
-        metadata, meta_stats = self._read_metadata(unit_id)
+        metadata, meta_stats = self._read_metadata(unit_id, use_cached=False)
         self._charge(meta_stats)
         record = metadata.find_by_digest(digest) if metadata is not None else None
         if record is None:
@@ -487,15 +572,27 @@ class DepSkyClient:
         self._charge(meta_stats)
         return list(metadata.versions) if metadata is not None else []
 
-    def delete_version(self, unit_id: str, version: int) -> None:
+    def delete_version(self, unit_id: str, version: int,
+                       anchored_digest: str | None = None) -> None:
         """Delete the blocks of one version from every cloud and update metadata.
 
         Used by the SCFS garbage collector (§2.5.3).  Deletes are best-effort:
         an unreachable cloud keeps its (orphaned) block, so the call charges
         the quorum wait but never raises.
+
+        ``anchored_digest`` is the digest the caller knows to be the unit's
+        *current* version (from the consistency anchor).  If the metadata
+        this client can see does not list it — the clouds' copies still lag
+        the commit — the whole delete is skipped rather than rewriting the
+        metadata from a stale history (which would erase the freshly
+        committed record and make the anchored version unreadable).  The next
+        collection pass retries.
         """
         metadata, meta_stats = self._read_metadata(unit_id)
         self._charge(meta_stats)
+        if anchored_digest is not None and (
+                metadata is None or metadata.find_by_digest(anchored_digest) is None):
+            return
 
         def delete_request(index: int) -> QuorumRequest:
             cloud = self.clouds[index]
@@ -512,16 +609,27 @@ class DepSkyClient:
         delete_stats = self._call().stage(
             [delete_request(i) for i in range(self.n)]
         ).execute(required=self.n - self.f)
+        self._tap("block_delete", unit_id, delete_stats)
         self._charge(delete_stats)
         if metadata is not None and metadata.remove_version(version):
             blob = metadata.to_bytes()
             put_stats = self._call().stage(
                 [self._put_request(c, self._meta_key(unit_id), blob) for c in self.clouds]
             ).execute(required=self.n - self.f)
+            self._tap("meta_put", unit_id, put_stats)
             self._charge(put_stats)
+            if put_stats.reached:
+                # Deleting does not raise the version: keep the old knowledge
+                # floor so our pruned copy outranks the still-visible history.
+                previous_floor = self._last_written.get(unit_id, (0, None))[0]
+                latest = metadata.latest()
+                floor = max(previous_floor, latest.version if latest else 0)
+                self._last_written[unit_id] = (
+                    floor, DataUnitMetadata.from_bytes(blob))
 
     def destroy_unit(self, unit_id: str) -> None:
         """Remove every object of the data unit from every cloud."""
+        self._last_written.pop(unit_id, None)
         prefix = self.unit_prefix(unit_id)
         for cloud in self.clouds:
             try:
@@ -558,6 +666,7 @@ class DepSkyClient:
         stats = self._call().stage(
             [acl_request(c) for c in self.clouds]
         ).execute(required=self.n - self.f)
+        self._tap("acl", unit_id, stats)
         self._charge(stats)
 
     def stored_bytes(self, unit_id: str) -> int:

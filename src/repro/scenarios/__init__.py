@@ -1,0 +1,46 @@
+"""Deterministic multi-agent scenario engine with Jepsen-style checking.
+
+Public surface:
+
+* :class:`~repro.scenarios.spec.ScenarioSpec` /
+  :data:`~repro.scenarios.spec.FAULT_MIXES` — seed-derived scenario
+  descriptions (agents, workload mixes, fault phases over clouds and
+  coordination replicas);
+* :class:`~repro.scenarios.trace.TraceRecorder` — the totally ordered
+  operation history and its replay fingerprint;
+* :mod:`~repro.scenarios.invariants` — checkers for consistency-on-close,
+  write-lock mutual exclusion, durability/replication and commit ordering;
+* :class:`~repro.scenarios.runner.ScenarioRunner` /
+  :func:`~repro.scenarios.runner.run_scenario` — execution.
+
+``python -m repro.scenarios --seed S --mix M`` replays one scenario and
+prints its report; a failing seed reproduces the identical trace.
+"""
+
+from repro.scenarios.invariants import Violation, check_all
+from repro.scenarios.runner import ScenarioResult, ScenarioRunner, run_scenario
+from repro.scenarios.spec import (
+    AGENT_NAMES,
+    FAULT_MIXES,
+    AgentSpec,
+    FaultPhase,
+    ScenarioSpec,
+    WorkloadMix,
+)
+from repro.scenarios.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "AGENT_NAMES",
+    "AgentSpec",
+    "FAULT_MIXES",
+    "FaultPhase",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "TraceEvent",
+    "TraceRecorder",
+    "Violation",
+    "WorkloadMix",
+    "check_all",
+    "run_scenario",
+]

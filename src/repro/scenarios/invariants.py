@@ -1,0 +1,383 @@
+"""Jepsen-style invariant checkers over a scenario history.
+
+Each checker consumes the totally ordered trace of one scenario run (see
+:mod:`repro.scenarios.trace`) — plus, for durability, the deployment's
+cloud-side ground truth — and returns the violations it found.  The four
+checkers correspond to the paper's headline guarantees:
+
+1. **Consistency-on-close** (§2.3) — an anchored read never serves a version
+   older than the last close whose commit *completed* before the read's
+   metadata could have been cached (the metadata cache bounds staleness to
+   its expiration; with expiration 0 the check is strict).
+2. **Mutual exclusion** (§2.5.1) — at most one agent holds the write lock of
+   a file at any instant of the history.
+3. **Durability / replication** (§2.5, Table 1) — every committed version
+   still anchored at the end of the run is reconstructible from the blocks
+   the providers *actually* hold: at least ``f + 1`` digest-verified blocks
+   exist, replication never silently shrank below ``n - f`` minus the clouds
+   that were write-faulty when the version was pushed, and a fresh DepSky
+   client can re-assemble the exact payload.
+4. **Commit ordering** (§3.1) — the non-blocking (and blocking) close pushes
+   the data to the cloud(s) *before* the metadata update, and releases the
+   write lock only *after* the metadata update, for every version.
+
+Checkers never mutate the deployment; the durability checker's end-to-end
+read runs through an uncharged DepSky client, so it neither advances the
+simulated clock nor appends to the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+from repro.core.backend import SingleCloudBackend
+from repro.core.modes import BackendKind
+from repro.crypto.hashing import content_digest
+from repro.depsky.dataunit import DataUnitMetadata, VersionRecord
+from repro.depsky.protocol import _BLOCK_HEADER, DepSkyClient
+from repro.scenarios.trace import TraceRecorder
+from repro.simenv.failures import FaultKind
+
+#: Cloud fault kinds that can reduce the number of *stored, verifiable* copies
+#: of a version written while they are active (an UNAVAILABLE cloud triggers
+#: preferred-quorum spill-over instead, so it does not shrink replication).
+_WRITE_FAULTS = (FaultKind.CORRUPTION, FaultKind.DROP_WRITES, FaultKind.BYZANTINE)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation, anchored to the event that exposed it."""
+
+    invariant: str
+    message: str
+    seq: int | None = None
+
+    def __str__(self) -> str:
+        anchor = f" @seq={self.seq}" if self.seq is not None else ""
+        return f"[{self.invariant}]{anchor} {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# 1. consistency-on-close
+# ---------------------------------------------------------------------------
+
+
+def check_consistency_on_close(trace: TraceRecorder,
+                               staleness: float = 0.0) -> list[Violation]:
+    """Anchored reads never serve a version older than the last completed close.
+
+    ``staleness`` is the agents' metadata-cache expiration: a commit only
+    becomes *required* reading once it completed strictly more than
+    ``staleness`` simulated seconds before the open (a fresh cache entry may
+    legitimately hide anything younger).
+    """
+    violations: list[Violation] = []
+    # (file_id) -> list of committed (time, version); (file_id, version) -> digest.
+    commits: dict[str, list[tuple[float, int]]] = {}
+    digest_of: dict[tuple[str, int], str] = {}
+    for event in trace.by_kind("close", "commit"):
+        fid = event.get("file_id")
+        version = event.get("version")
+        digest = event.get("digest")
+        if not fid or not digest:
+            continue
+        known = digest_of.setdefault((fid, version), digest)
+        if known != digest:
+            violations.append(Violation(
+                "consistency-on-close",
+                f"file {fid} version {version} recorded two digests "
+                f"({known[:12]}… vs {digest[:12]}…)",
+                seq=event.seq,
+            ))
+        if event.kind == "commit":
+            commits.setdefault(fid, []).append((event.time, version))
+
+    for event in trace.by_kind("open"):
+        if not event.get("served"):
+            continue
+        fid = event.get("file_id")
+        served_version = event.get("version")
+        served_digest = event.get("digest")
+        # Freshness is judged at the instant the open took its metadata
+        # snapshot (`began`), not at event emission: the data fetch between
+        # the two can take seconds under a degraded cloud.
+        reference = event.get("began", event.time)
+        required = 0
+        for time, version in commits.get(fid, ()):
+            # Strict inequality: a commit landing at exactly the staleness
+            # boundary may still be hidden by a just-fresh cache entry.
+            if time < reference - staleness and version > required:
+                required = version
+        if served_version < required:
+            violations.append(Violation(
+                "consistency-on-close",
+                f"{event.agent} opened {event.get('path')} and was served "
+                f"version {served_version}, but version {required} had "
+                f"completed its close more than {staleness}s earlier",
+                seq=event.seq,
+            ))
+        if served_digest and digest_of.get((fid, served_version),
+                                           served_digest) != served_digest:
+            violations.append(Violation(
+                "consistency-on-close",
+                f"{event.agent} was served digest {served_digest[:12]}… for "
+                f"{event.get('path')} v{served_version}, which no close of "
+                "that version produced",
+                seq=event.seq,
+            ))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# 2. mutual exclusion
+# ---------------------------------------------------------------------------
+
+
+def check_mutual_exclusion(trace: TraceRecorder) -> list[Violation]:
+    """At most one agent holds the write lock of a file at any instant."""
+    violations: list[Violation] = []
+    holder: dict[str, str] = {}
+    for event in trace.by_kind("lock", "unlock"):
+        name = event.get("lock")
+        if event.kind == "lock":
+            current = holder.get(name)
+            if current is not None and current != event.agent:
+                violations.append(Violation(
+                    "mutual-exclusion",
+                    f"{event.agent} acquired {name} while {current} still held it",
+                    seq=event.seq,
+                ))
+            holder[name] = event.agent
+        else:
+            if holder.get(name) == event.agent:
+                del holder[name]
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# 3. durability / replication
+# ---------------------------------------------------------------------------
+
+
+def _latest_commits(trace: TraceRecorder) -> dict[str, object]:
+    """Last commit event per file id, excluding files that were ever unlinked.
+
+    An unlinked file may be purged by the garbage collector (including a
+    version committed by a background upload that completed *after* the
+    unlink, which merges the deleted flag), so durability is only demanded of
+    file ids that were never deleted.  Recreating a path mints a new file id,
+    so the exclusion costs no coverage.
+    """
+    commits: dict[str, object] = {}
+    for event in trace.by_kind("commit"):
+        fid = event.get("file_id")
+        if fid:
+            commits[fid] = event
+    for event in trace.by_kind("unlink"):
+        commits.pop(event.get("file_id"), None)
+    return commits
+
+
+def _find_record(clouds, unit_id: str, digest: str) -> VersionRecord | None:
+    """The version record for ``digest`` from any cloud's raw metadata copy."""
+    best: VersionRecord | None = None
+    for cloud in clouds:
+        blob = cloud.raw_object(DepSkyClient._meta_key(unit_id))
+        if blob is None:
+            continue
+        try:
+            copy = DataUnitMetadata.from_bytes(blob)
+        except ValueError:
+            continue  # this provider's copy is corrupted — that's what f is for
+        record = copy.find_by_digest(digest)
+        if record is not None and (best is None or record.version > best.version):
+            best = record
+    return best
+
+
+def _verified_blocks(clouds, unit_id: str, record: VersionRecord) -> int:
+    """How many providers hold a digest-verified block of one version.
+
+    The digest covers the whole stored blob — header, key share and coded
+    payload — matching the read path's verification rule.
+    """
+    verified = 0
+    for index, cloud in enumerate(clouds):
+        blob = cloud.raw_object(DepSkyClient._block_key(unit_id, record.version, index))
+        if blob is None or len(blob) < _BLOCK_HEADER.size:
+            continue
+        if index < len(record.block_digests) \
+                and content_digest(blob) == record.block_digests[index]:
+            verified += 1
+    return verified
+
+
+def _write_faulty_clouds(clouds, when: float) -> int:
+    """Clouds whose active faults could corrupt/drop a write at ``when``."""
+    return sum(
+        1 for cloud in clouds
+        if any(cloud.failures.is_active(kind, when) for kind in _WRITE_FAULTS)
+    )
+
+
+def check_durability(trace: TraceRecorder, deployment) -> list[Violation]:
+    """Every version still anchored at the end of the run is reconstructible."""
+    violations: list[Violation] = []
+    clouds = deployment.clouds
+    config = deployment.config
+    commits = _latest_commits(trace)
+
+    if config.backend is not BackendKind.COC:
+        for fid, event in commits.items():
+            digest = event.get("digest")
+            blob = clouds[0].raw_object(SingleCloudBackend._key(fid, digest))
+            if blob is None or content_digest(blob) != digest:
+                violations.append(Violation(
+                    "durability",
+                    f"single-cloud version {digest[:12]}… of {fid} is missing "
+                    "or corrupted on the provider",
+                    seq=event.seq,
+                ))
+        return violations
+
+    f = config.fault_tolerance
+    n = len(clouds)
+    k = f + 1
+    for fid, event in commits.items():
+        digest = event.get("digest")
+        record = _find_record(clouds, fid, digest)
+        if record is None:
+            violations.append(Violation(
+                "durability",
+                f"no provider's metadata copy lists the committed version "
+                f"{digest[:12]}… of {fid}",
+                seq=event.seq,
+            ))
+            continue
+        verified = _verified_blocks(clouds, fid, record)
+        # An UNAVAILABLE preferred cloud spills the block over to a fallback
+        # cloud, so only write-corrupting faults may shrink the stored count.
+        floor = max(k, (n - f) - _write_faulty_clouds(clouds, event.time))
+        if verified < floor:
+            violations.append(Violation(
+                "durability",
+                f"version {digest[:12]}… of {fid} has only {verified} "
+                f"verified blocks (needs ≥ {floor}; n={n}, f={f})",
+                seq=event.seq,
+            ))
+            continue
+        writer = event.agent
+        filesystem = deployment.filesystems.get(writer)
+        if filesystem is None:
+            continue
+        reader = DepSkyClient(
+            deployment.sim, clouds, filesystem.agent.principal, f=f,
+            encrypt=config.encrypt_data, charge_latency=False,
+        )
+        try:
+            result = reader.read_matching(fid, digest)
+        except (ReproError, ValueError) as exc:
+            violations.append(Violation(
+                "durability",
+                f"version {digest[:12]}… of {fid} could not be re-assembled "
+                f"from the live clouds: {exc}",
+                seq=event.seq,
+            ))
+            continue
+        if content_digest(result.data) != digest:
+            violations.append(Violation(
+                "durability",
+                f"re-assembled payload of {fid} does not match its anchored "
+                f"digest {digest[:12]}…",
+                seq=event.seq,
+            ))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# 4. commit ordering (upload → metadata update → unlock)
+# ---------------------------------------------------------------------------
+
+
+def check_commit_ordering(trace: TraceRecorder) -> list[Violation]:
+    """Close commits push data before metadata, and unlock only after both."""
+    violations: list[Violation] = []
+    uploads: dict[tuple[str, str, int], int] = {}
+    commit_seqs: dict[tuple[str, str, int], int] = {}
+    closes: dict[tuple[str, str], list] = {}
+    unlocks: dict[tuple[str, str], list[int]] = {}
+    for event in trace.events:
+        if event.kind == "upload":
+            uploads[(event.agent, event.get("file_id"), event.get("version"))] = event.seq
+        elif event.kind == "commit":
+            commit_seqs[(event.agent, event.get("file_id"), event.get("version"))] = event.seq
+        elif event.kind == "close" and event.get("dirty"):
+            closes.setdefault((event.agent, event.get("file_id")), []).append(event)
+        elif event.kind == "unlock":
+            name = event.get("lock", "")
+            if name.startswith("filelock:"):
+                fid = name[len("filelock:"):]
+                unlocks.setdefault((event.agent, fid), []).append(event.seq)
+
+    for key, commit_seq in commit_seqs.items():
+        upload_seq = uploads.get(key)
+        agent, fid, version = key
+        if upload_seq is None:
+            violations.append(Violation(
+                "commit-ordering",
+                f"{agent} committed {fid} v{version} without a recorded upload",
+                seq=commit_seq,
+            ))
+        elif upload_seq >= commit_seq:
+            violations.append(Violation(
+                "commit-ordering",
+                f"{agent} updated the metadata of {fid} v{version} before the "
+                "upload finished",
+                seq=commit_seq,
+            ))
+
+    for (agent, fid), seqs in unlocks.items():
+        for unlock_seq in seqs:
+            for close in closes.get((agent, fid), ()):
+                if close.seq > unlock_seq:
+                    continue
+                commit_seq = commit_seqs.get((agent, fid, close.get("version")))
+                if commit_seq is None or commit_seq > unlock_seq:
+                    violations.append(Violation(
+                        "commit-ordering",
+                        f"{agent} released the write lock of {fid} before the "
+                        f"commit of version {close.get('version')} completed",
+                        seq=unlock_seq,
+                    ))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# unexpected errors + entry point
+# ---------------------------------------------------------------------------
+
+
+def check_unexpected_errors(trace: TraceRecorder) -> list[Violation]:
+    """Surface non-benign operation errors the runner recorded."""
+    return [
+        Violation("unexpected-error",
+                  f"{event.agent} {event.get('op')} on {event.get('path')}: "
+                  f"{event.get('error')}",
+                  seq=event.seq)
+        for event in trace.by_kind("op_error")
+        if not event.get("benign")
+    ]
+
+
+def check_all(trace: TraceRecorder, deployment=None,
+              staleness: float = 0.0) -> list[Violation]:
+    """Run every checker; ``deployment`` enables the durability ground check."""
+    violations = []
+    violations += check_consistency_on_close(trace, staleness=staleness)
+    violations += check_mutual_exclusion(trace)
+    violations += check_commit_ordering(trace)
+    violations += check_unexpected_errors(trace)
+    if deployment is not None:
+        violations += check_durability(trace, deployment)
+    return violations

@@ -1,0 +1,304 @@
+"""The scenario runner: drive N agents through one seed-derived scenario.
+
+A :class:`ScenarioRunner` deploys the spec's Table 2 variant on a fresh
+:class:`~repro.simenv.environment.Simulation`, mounts one agent per
+:class:`~repro.scenarios.spec.AgentSpec` with the trace recorder attached to
+every hook (agent events, lock transitions, DepSky quorum calls, health
+transitions), then executes the interleaved workload while switching fault
+phases on and off at their op-index anchors.  Afterwards it drains all
+background work, unmounts, fingerprints the trace and runs the invariant
+checkers.
+
+Determinism contract: everything the runner does is derived from the spec's
+seed through :func:`~repro.simenv.environment.derive_rng` forks — per-agent
+workload streams, the interleaving stream and the think-time stream are all
+independent, so a same-seed rerun reproduces the trace byte for byte
+(:meth:`ScenarioResult.fingerprint`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.errors import (
+    FileExistsErrorFS,
+    FileNotFoundErrorFS,
+    IsADirectoryErrorFS,
+    LockHeldError,
+    PermissionDeniedError,
+    ReproError,
+)
+from repro.common.types import Permission
+from repro.core.backend import CloudOfCloudsBackend
+from repro.core.deployment import SCFSDeployment
+from repro.scenarios.invariants import Violation, check_all
+from repro.scenarios.spec import FaultPhase, ScenarioSpec
+from repro.scenarios.trace import TraceRecorder
+from repro.simenv.environment import Simulation, derive_rng
+from repro.simenv.failures import FaultKind, FaultWindow
+
+#: Errors that are legitimate outcomes of a racing workload (lock conflicts,
+#: reads of not-yet/no-longer existing files); anything else is surfaced by
+#: the ``unexpected-error`` pseudo-invariant.
+BENIGN_ERRORS = (
+    LockHeldError,
+    FileNotFoundErrorFS,
+    FileExistsErrorFS,
+    PermissionDeniedError,
+    IsADirectoryErrorFS,
+)
+
+
+def _payload(size: int, tag: int) -> bytes:
+    """Deterministic, cheap, content-distinct payload of ``size`` bytes."""
+    pattern = bytes((i * 131 + tag * 17 + 7) % 256 for i in range(min(size, 512)))
+    repeats = size // len(pattern) + 1
+    return (pattern * repeats)[:size]
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    spec: ScenarioSpec
+    trace: TraceRecorder
+    fingerprint: str
+    violations: list[Violation] = field(default_factory=list)
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return not self.violations
+
+    def report(self) -> str:
+        """Human-readable outcome, including the repro command on failure."""
+        lines = [
+            f"scenario seed={self.spec.seed} mix={self.spec.mix} "
+            f"variant={self.spec.variant}: "
+            f"{len(self.trace)} events, fingerprint {self.fingerprint[:16]}…",
+            "stats: " + ", ".join(f"{k}={v}" for k, v in sorted(self.stats.items())),
+        ]
+        if self.violations:
+            lines.append(f"{len(self.violations)} invariant violation(s):")
+            lines += [f"  {v}" for v in self.violations]
+            lines.append(f"rerun this exact trace with: {self.spec.repro_command()}")
+        else:
+            lines.append("all invariants held")
+        return "\n".join(lines)
+
+
+class ScenarioRunner:
+    """Execute one :class:`ScenarioSpec` and check its history."""
+
+    def __init__(self, spec: ScenarioSpec):
+        spec.validate()
+        self.spec = spec
+
+    # ------------------------------------------------------------------ setup
+
+    def _wire_agent(self, deployment: SCFSDeployment, name: str,
+                    recorder: TraceRecorder) -> None:
+        filesystem = deployment.create_agent(name, events=recorder.record)
+        backend = filesystem.agent.backend
+        if isinstance(backend, CloudOfCloudsBackend):
+            backend.client.on_quorum = recorder.quorum_sink(name, deployment.sim)
+        if backend.health is not None:
+            backend.health.on_transition = recorder.health_sink(name)
+
+    def _setup_files(self, deployment: SCFSDeployment,
+                     recorder: TraceRecorder) -> None:
+        """First agent creates the shared pool and grants everyone access."""
+        spec = self.spec
+        owner = deployment.agent_for(spec.agents[0].name)
+        owner.mkdir("/shared", shared=True)
+        for index, path in enumerate(spec.shared_files):
+            owner.write_file(path, _payload(256, tag=index), shared=True)
+            for other in spec.agents[1:]:
+                owner.setfacl(path, other.name, Permission.READ_WRITE)
+        recorder.record("setup_done", time=deployment.sim.now(),
+                        files=list(spec.shared_files))
+        deployment.drain(2.0)
+
+    # ------------------------------------------------------------------ faults
+
+    def _fault_actions(self) -> dict[int, list[tuple[str, FaultPhase]]]:
+        """Map op index -> fault (start|end) actions due before that op."""
+        total = max(1, self.spec.total_ops)
+        actions: dict[int, list[tuple[str, FaultPhase]]] = {}
+        for phase in self.spec.faults:
+            start = min(total - 1, int(phase.start_frac * total))
+            end = int(phase.end_frac * total)
+            actions.setdefault(start, []).append(("start", phase))
+            if end < total:
+                actions.setdefault(end, []).append(("end", phase))
+        return actions
+
+    def _apply_fault(self, deployment: SCFSDeployment, recorder: TraceRecorder,
+                     action: str, phase: FaultPhase,
+                     live: dict[FaultPhase, FaultWindow]) -> None:
+        now = deployment.sim.now()
+        target_kind, _, index_text = phase.target.partition(":")
+        index = int(index_text)
+        if target_kind == "cloud":
+            schedule = deployment.clouds[index].failures
+            if action == "start":
+                window = FaultWindow(FaultKind(phase.kind), start=now,
+                                     end=float("inf"), factor=phase.factor)
+                schedule.windows.append(window)
+                live[phase] = window
+            else:
+                window = live.pop(phase, None)
+                if window is not None:
+                    schedule.windows.remove(window)
+                    # Keep the bounded window on record: the durability checker
+                    # consults `is_active` at each version's commit time.  Tasks
+                    # that ran while the clock advanced *to* `now` (background
+                    # uploads, probes) still saw the fault, so the recorded end
+                    # sits just past `now` (windows are end-exclusive).
+                    schedule.add(window.kind, start=window.start,
+                                 end=math.nextafter(now, math.inf),
+                                 factor=window.factor)
+        else:
+            rsm = deployment.coordination.rsm
+            if action == "start":
+                if phase.kind == "crash":
+                    rsm.crash_replica(index)
+                else:
+                    rsm.make_byzantine(index)
+            else:
+                rsm.recover_replica(index)
+        recorder.record(f"fault_{action}", time=now, target=phase.target,
+                        fault=phase.kind, factor=phase.factor)
+
+    # ------------------------------------------------------------------ workload
+
+    def _agent_ops(self, agent_name: str, count: int, mix) -> list[tuple[str, str, int]]:
+        """The agent's op list: (kind, path, size), from its forked stream."""
+        rng = derive_rng(self.spec.seed, f"agent:{agent_name}")
+        total_weight = sum(weight for _op, weight in mix.weights)
+        ops = []
+        for _ in range(count):
+            draw = rng.random() * total_weight
+            kind = mix.weights[-1][0]
+            for op, weight in mix.weights:
+                if draw < weight:
+                    kind = op
+                    break
+                draw -= weight
+            path = self.spec.shared_files[rng.randrange(len(self.spec.shared_files))]
+            size = rng.randrange(mix.min_size, mix.max_size + 1)
+            ops.append((kind, path, size))
+        return ops
+
+    def _run_op(self, deployment: SCFSDeployment, recorder: TraceRecorder,
+                agent_name: str, op: tuple[str, str, int], tag: int,
+                stats: dict[str, int]) -> None:
+        kind, path, size = op
+        fs = deployment.agent_for(agent_name)
+        stats[f"op:{kind}"] = stats.get(f"op:{kind}", 0) + 1
+        try:
+            if kind == "write":
+                existed = fs.exists(path)
+                handle = fs.open(path, "w", shared=True)
+                fs.write(handle, _payload(size, tag))
+                fs.close(handle)
+                if not existed:
+                    # The (re)creator owns the file: re-grant the other agents.
+                    for other in self.spec.agents:
+                        if other.name != agent_name:
+                            fs.setfacl(path, other.name, Permission.READ_WRITE)
+            elif kind == "read":
+                fs.read_file(path)
+            elif kind == "append":
+                fs.append_file(path, _payload(min(size, 256), tag))
+            elif kind == "fsync":
+                handle = fs.open(path, "r+")
+                fs.write(handle, _payload(min(size, 256), tag), 0)
+                fs.fsync(handle)
+                fs.close(handle)
+            elif kind == "stat":
+                fs.stat(path)
+            elif kind == "unlink":
+                meta = fs.stat(path)
+                if meta.owner == agent_name:
+                    fs.unlink(path)
+            elif kind == "gc":
+                fs.collect_garbage()
+            else:  # pragma: no cover - spec.validate rejects unknown kinds
+                raise ValueError(f"unknown op kind {kind!r}")
+        except BENIGN_ERRORS as exc:
+            stats["benign_errors"] = stats.get("benign_errors", 0) + 1
+            recorder.record("op_error", agent=agent_name, time=deployment.sim.now(),
+                            op=kind, path=path, benign=True,
+                            error=f"{type(exc).__name__}: {exc}")
+        except (ReproError, ValueError) as exc:
+            stats["unexpected_errors"] = stats.get("unexpected_errors", 0) + 1
+            recorder.record("op_error", agent=agent_name, time=deployment.sim.now(),
+                            op=kind, path=path, benign=False,
+                            error=f"{type(exc).__name__}: {exc}")
+
+    # -------------------------------------------------------------------- run
+
+    def run(self) -> ScenarioResult:
+        """Execute the scenario; returns the checked :class:`ScenarioResult`."""
+        spec = self.spec
+        sim = Simulation(seed=spec.seed)
+        deployment = SCFSDeployment(spec.config(), sim=sim)
+        recorder = TraceRecorder()
+        stats: dict[str, int] = {}
+
+        for agent_spec in spec.agents:
+            self._wire_agent(deployment, agent_spec.name, recorder)
+        self._setup_files(deployment, recorder)
+
+        queues = {
+            a.name: self._agent_ops(a.name, a.ops, a.mix) for a in spec.agents
+        }
+        order = derive_rng(spec.seed, "interleave")
+        actions = self._fault_actions()
+        live_windows: dict[FaultPhase, FaultWindow] = {}
+
+        index = 0
+        remaining = [a.name for a in spec.agents for _ in range(a.ops)]
+        while remaining:
+            for action, phase in actions.pop(index, ()):
+                self._apply_fault(deployment, recorder, action, phase, live_windows)
+            pick = order.randrange(len(remaining))
+            agent_name = remaining.pop(pick)
+            op = queues[agent_name].pop(0)
+            self._run_op(deployment, recorder, agent_name, op, tag=index, stats=stats)
+            # Think time: often none (back-to-back contention), sometimes long
+            # enough for background uploads and probes to land mid-workload.
+            if order.random() < 0.5:
+                sim.advance(order.uniform(0.1, 2.0))
+            index += 1
+        # Close any fault window that is still open past the last op.
+        for pending in sorted(actions):
+            for action, phase in actions[pending]:
+                if action == "end":
+                    self._apply_fault(deployment, recorder, action, phase, live_windows)
+
+        deployment.drain(5.0)
+        deployment.unmount_all()
+        deployment.drain(1.0)
+        recorder.record("scenario_done", time=sim.now(), ops=spec.total_ops)
+
+        stats["events"] = len(recorder)
+        stats["quorum_calls"] = recorder.count("quorum")
+        stats["commits"] = recorder.count("commit")
+        stats["lock_acquisitions"] = recorder.count("lock")
+        fingerprint = recorder.fingerprint()
+        violations = check_all(recorder, deployment,
+                               staleness=spec.metadata_expiration)
+        return ScenarioResult(spec=spec, trace=recorder, fingerprint=fingerprint,
+                              violations=violations, stats=stats)
+
+
+def run_scenario(seed: int, mix: str = "fault-free", agents: int = 3,
+                 ops_per_agent: int = 10, variant: str | None = None) -> ScenarioResult:
+    """Generate the spec for ``(seed, mix)`` and run it (the test entry point)."""
+    spec = ScenarioSpec.generate(seed, mix=mix, agents=agents,
+                                 ops_per_agent=ops_per_agent, variant=variant)
+    return ScenarioRunner(spec).run()

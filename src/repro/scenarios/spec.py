@@ -1,0 +1,290 @@
+"""Declarative scenario specifications, derived from a single seed.
+
+A :class:`ScenarioSpec` describes one multi-agent experiment completely:
+which Table 2 variant to deploy, how many agents run which workload mix, and
+which fault phases hit which storage clouds and coordination replicas.  The
+whole spec is a pure function of ``(seed, mix, sizing)`` — calling
+:meth:`ScenarioSpec.generate` twice with the same arguments yields equal
+specs, and running a spec twice yields byte-identical traces (see
+:mod:`repro.scenarios.trace`).
+
+Fault phases are anchored to *operation indices* (fractions of the global op
+sequence), not to absolute simulated times: simulated time stretches wildly
+under DEGRADED windows, so op-indexed anchoring is what guarantees that a
+fault actually overlaps live traffic in every scenario.
+
+Every mix keeps the system inside its fault budget — at most ``f`` storage
+clouds with a non-gray fault at any instant, and at most ``f`` faulty
+coordination replicas — so the paper's guarantees are *supposed* to hold and
+any invariant violation is a bug, not an over-injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.config import CacheConfig, DispatchPolicyConfig, GarbageCollectionPolicy, SCFSConfig
+from repro.simenv.environment import derive_rng
+from repro.simenv.failures import FaultKind
+
+#: The four fault mixes swept by ``tests/scenarios/test_random_scenarios.py``.
+FAULT_MIXES: tuple[str, ...] = (
+    "fault-free",
+    "crash-hang",
+    "corrupt-byzantine",
+    "degraded-outage",
+)
+
+#: Agent names, in creation order (index into this for the i-th agent).
+AGENT_NAMES: tuple[str, ...] = ("alice", "bob", "carol", "dave", "erin", "frank")
+
+#: Workload operation kinds and their meaning (see ScenarioRunner._run_op).
+OP_KINDS: tuple[str, ...] = ("write", "read", "append", "fsync", "stat", "unlink", "gc")
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Per-agent workload: weighted operation kinds plus payload sizing."""
+
+    name: str = "general"
+    #: ``(op, weight)`` pairs; ops are drawn proportionally to the weights.
+    weights: tuple[tuple[str, float], ...] = (
+        ("write", 4.0), ("read", 5.0), ("append", 2.0), ("fsync", 1.0),
+        ("stat", 1.0), ("unlink", 0.5), ("gc", 0.3),
+    )
+    min_size: int = 64
+    max_size: int = 4096
+
+    def validate(self) -> None:
+        """Reject unknown op kinds and non-positive sizing."""
+        for op, weight in self.weights:
+            if op not in OP_KINDS:
+                raise ValueError(f"unknown workload op {op!r}")
+            if weight < 0:
+                raise ValueError(f"negative weight for {op!r}")
+        if not 0 < self.min_size <= self.max_size:
+            raise ValueError("payload sizes must satisfy 0 < min <= max")
+
+
+@dataclass(frozen=True)
+class AgentSpec:
+    """One simulated user: a name and a sized workload."""
+
+    name: str
+    ops: int
+    mix: WorkloadMix = field(default_factory=WorkloadMix)
+
+
+@dataclass(frozen=True)
+class FaultPhase:
+    """One fault window, anchored to fractions of the global op sequence.
+
+    ``target`` is ``"cloud:<index>"`` or ``"replica:<index>"``.  For clouds,
+    ``kind`` is a :class:`~repro.simenv.failures.FaultKind` value; for
+    replicas it is ``"crash"`` or ``"byzantine"``.  The phase starts before
+    the op at ``start_frac * total_ops`` and ends before the op at
+    ``end_frac * total_ops`` (``end_frac >= 1`` keeps it active to the end).
+    """
+
+    target: str
+    kind: str
+    start_frac: float
+    end_frac: float
+    factor: float = 1.0
+
+    def validate(self) -> None:
+        kind, _, index = self.target.partition(":")
+        if kind not in ("cloud", "replica") or not index.isdigit():
+            raise ValueError(f"malformed fault target {self.target!r}")
+        if not 0.0 <= self.start_frac < self.end_frac:
+            raise ValueError("a fault phase needs start_frac < end_frac")
+        if self.target.startswith("replica") and self.kind not in ("crash", "byzantine"):
+            raise ValueError(f"unknown replica fault {self.kind!r}")
+        if self.target.startswith("cloud"):
+            FaultKind(self.kind)  # raises ValueError on unknown kinds
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, seed-derived description of one multi-agent scenario."""
+
+    seed: int
+    mix: str
+    variant: str
+    agents: tuple[AgentSpec, ...]
+    faults: tuple[FaultPhase, ...] = ()
+    shared_files: tuple[str, ...] = ()
+    #: Metadata-cache expiration of every agent; the consistency-on-close
+    #: checker allows exactly this much staleness (0.0 asserts the strict
+    #: anchor guarantee).
+    metadata_expiration: float = 0.5
+    #: Dispatch/health knobs (None = plain staged dispatch, no suspicion).
+    dispatch: DispatchPolicyConfig | None = None
+
+    @property
+    def total_ops(self) -> int:
+        """Number of workload operations across all agents."""
+        return sum(agent.ops for agent in self.agents)
+
+    def validate(self) -> None:
+        """Check internal consistency (sizes, fault budget, known ops)."""
+        if not self.agents:
+            raise ValueError("a scenario needs at least one agent")
+        if not self.shared_files:
+            raise ValueError("a scenario needs at least one shared file")
+        if self.mix not in FAULT_MIXES:
+            raise ValueError(f"unknown fault mix {self.mix!r}")
+        for agent in self.agents:
+            agent.mix.validate()
+        for phase in self.faults:
+            phase.validate()
+
+    def config(self) -> SCFSConfig:
+        """The :class:`SCFSConfig` every agent of this scenario mounts with.
+
+        A long lock lease keeps lease expiry out of scope (DEGRADED windows
+        stretch simulated time far beyond the 30 s default, and lease-based
+        lock stealing would make the mutual-exclusion invariant vacuous); an
+        aggressive GC threshold makes the collector actually run mid-scenario.
+        """
+        overrides = {
+            "lock_lease": 3600.0,
+            "caches": CacheConfig(metadata_expiration=self.metadata_expiration),
+            "gc": GarbageCollectionPolicy(written_bytes_threshold=256 * 1024,
+                                          versions_to_keep=3),
+        }
+        if self.dispatch is not None:
+            overrides["dispatch"] = self.dispatch
+        return SCFSConfig.for_variant(self.variant, **overrides)
+
+    def repro_command(self) -> str:
+        """Shell command that reruns exactly this scenario (same trace bytes)."""
+        agents = len(self.agents)
+        ops = self.agents[0].ops if self.agents else 0
+        return (
+            "PYTHONPATH=src python -m repro.scenarios "
+            f"--seed {self.seed} --mix {self.mix} --agents {agents} --ops {ops} "
+            f"--variant {self.variant}"
+        )
+
+    # ------------------------------------------------------------ generation
+
+    @classmethod
+    def generate(cls, seed: int, mix: str = "fault-free", agents: int = 3,
+                 ops_per_agent: int = 10, variant: str | None = None,
+                 shared_files: int = 4) -> "ScenarioSpec":
+        """Derive a full scenario from one seed (pure: same inputs, same spec)."""
+        if mix not in FAULT_MIXES:
+            raise ValueError(f"unknown fault mix {mix!r}; known mixes: {FAULT_MIXES}")
+        if not 1 <= agents <= len(AGENT_NAMES):
+            raise ValueError(f"agents must be in 1..{len(AGENT_NAMES)}")
+        rng = derive_rng(seed, f"scenario:{mix}")
+        # Always consume the variant draw, even when a variant is forced:
+        # otherwise forcing one shifts the RNG stream and the fault phases of
+        # a forced-variant rerun would differ from the run it reproduces.
+        drawn = rng.choice(("SCFS-CoC-B", "SCFS-CoC-NB"))
+        if variant is None:
+            # Alternate the two sharing-capable CoC variants so the sweep
+            # exercises both the blocking and the non-blocking close path.
+            variant = drawn
+        agent_specs = tuple(
+            AgentSpec(name=AGENT_NAMES[i], ops=ops_per_agent) for i in range(agents)
+        )
+        files = tuple(f"/shared/file-{i}.dat" for i in range(shared_files))
+        faults, dispatch = _faults_for_mix(mix, rng)
+        spec = cls(
+            seed=seed, mix=mix, variant=variant, agents=agent_specs,
+            faults=faults, shared_files=files, dispatch=dispatch,
+        )
+        spec.validate()
+        return spec
+
+    def scaled(self, ops_per_agent: int) -> "ScenarioSpec":
+        """Return a copy with every agent's op count replaced (CI fast mode)."""
+        return replace(
+            self, agents=tuple(replace(a, ops=ops_per_agent) for a in self.agents)
+        )
+
+
+def _two_clouds(rng, n: int = 4) -> tuple[int, int]:
+    """Two distinct cloud indices."""
+    first = rng.randrange(n)
+    second = rng.randrange(n - 1)
+    if second >= first:
+        second += 1
+    return first, second
+
+
+def _faults_for_mix(mix: str, rng) -> tuple[tuple[FaultPhase, ...],
+                                            DispatchPolicyConfig | None]:
+    """Build the fault phases (and dispatch config) of one named mix.
+
+    Windows of *failing* kinds (unavailable, corruption, byzantine,
+    drop-writes, and timed-out hangs) are kept disjoint in op-fraction space
+    so at most one storage cloud is non-gray-faulty at a time (f = 1); gray
+    DEGRADED windows may overlap anything.
+    """
+    if mix == "fault-free":
+        return (), None
+
+    if mix == "crash-hang":
+        crashed, hung = _two_clouds(rng)
+        replica = rng.randrange(4)
+        start = rng.uniform(0.10, 0.20)
+        return (
+            FaultPhase(f"cloud:{crashed}", FaultKind.UNAVAILABLE.value,
+                       start_frac=start, end_frac=start + rng.uniform(0.15, 0.30)),
+            FaultPhase(f"cloud:{hung}", FaultKind.DEGRADED.value,
+                       start_frac=rng.uniform(0.55, 0.65),
+                       end_frac=rng.uniform(0.75, 0.90),
+                       factor=rng.uniform(15.0, 40.0)),
+            FaultPhase(f"replica:{replica}", "crash",
+                       start_frac=rng.uniform(0.20, 0.40),
+                       end_frac=rng.uniform(0.60, 0.80)),
+        ), None
+
+    if mix == "corrupt-byzantine":
+        # One *persistently adversarial* cloud misbehaves in three different
+        # ways over the run.  Corruption and dropped writes damage data *at
+        # rest*, so spreading these kinds across clouds would leave more than
+        # ``f`` clouds holding bad copies of some version — outside the fault
+        # budget the protocols promise to tolerate.  One adversary keeps every
+        # version's total damage within f = 1.
+        adversary = rng.randrange(4)
+        replica = rng.randrange(4)
+        return (
+            FaultPhase(f"cloud:{adversary}", FaultKind.CORRUPTION.value,
+                       start_frac=rng.uniform(0.08, 0.15),
+                       end_frac=rng.uniform(0.25, 0.35)),
+            FaultPhase(f"cloud:{adversary}", FaultKind.BYZANTINE.value,
+                       start_frac=rng.uniform(0.40, 0.50),
+                       end_frac=rng.uniform(0.58, 0.68)),
+            FaultPhase(f"cloud:{adversary}", FaultKind.DROP_WRITES.value,
+                       start_frac=rng.uniform(0.72, 0.80),
+                       end_frac=rng.uniform(0.85, 0.95)),
+            FaultPhase(f"replica:{replica}", "byzantine",
+                       start_frac=rng.uniform(0.25, 0.45),
+                       end_frac=rng.uniform(0.55, 0.75)),
+        ), None
+
+    if mix == "degraded-outage":
+        # Exercise the PR 2/3 dispatch + health stack: per-request timeouts,
+        # a retry, and suspect-list tracking with quick probe recovery.  The
+        # outage ends mid-scenario so probe-driven recovery is on the trace.
+        downed, straggler = _two_clouds(rng)
+        dispatch = DispatchPolicyConfig(
+            timeout=8.0, retries=1,
+            suspicion_threshold=2, probe_backoff=5.0, probe_backoff_factor=2.0,
+            probe_backoff_max=60.0,
+        )
+        return (
+            FaultPhase(f"cloud:{downed}", FaultKind.UNAVAILABLE.value,
+                       start_frac=rng.uniform(0.12, 0.20),
+                       end_frac=rng.uniform(0.38, 0.48)),
+            FaultPhase(f"cloud:{straggler}", FaultKind.DEGRADED.value,
+                       start_frac=rng.uniform(0.55, 0.65),
+                       end_frac=rng.uniform(0.80, 0.92),
+                       factor=rng.uniform(4.0, 8.0)),
+        ), dispatch
+
+    raise ValueError(f"unknown fault mix {mix!r}")

@@ -11,6 +11,7 @@ operation advancing the clock).
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 import random
@@ -18,6 +19,18 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.simenv.clock import SimClock
+
+
+def derive_rng(seed: int, label: str) -> random.Random:
+    """Derive an independent, reproducible RNG stream from ``(seed, label)``.
+
+    Forked streams decouple unrelated consumers of randomness: workload
+    generation, fault-schedule generation and latency jitter each get their own
+    stream, so adding a draw to one never perturbs the others — the property
+    the scenario engine's seed-replay guarantee rests on.
+    """
+    digest = hashlib.sha256(f"{seed}:{label}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
 
 
 @dataclass(order=True)
@@ -73,8 +86,29 @@ class Simulation:
         self.seed = seed
         self._queue: list[_ScheduledTask] = []
         self._seq = itertools.count()
+        self._id_counter = itertools.count()
         self._draining = False
         self.clock.subscribe(self._on_clock_advanced)
+
+    # -- determinism helpers -------------------------------------------------
+
+    def fork_rng(self, label: str) -> random.Random:
+        """Return an independent RNG stream derived from this simulation's seed.
+
+        Same seed + same label ⇒ same stream, regardless of how much the main
+        ``rng`` has been consumed (see :func:`derive_rng`).
+        """
+        return derive_rng(self.seed, label)
+
+    def fresh_id(self, prefix: str = "obj") -> str:
+        """Return an identifier unique within this simulation.
+
+        Unlike the process-global :func:`repro.common.types.fresh_id`, the
+        counter restarts with every :class:`Simulation`, so two same-seed runs
+        in one process mint identical ids — a prerequisite for byte-identical
+        scenario traces (file ids end up in cloud keys and trace events).
+        """
+        return f"{prefix}-{next(self._id_counter):08d}"
 
     # -- time ---------------------------------------------------------------
 
