@@ -26,6 +26,7 @@ import time
 import numpy as np
 
 from repro.bench.report import render_table
+from repro.bench.trajectory import record_bench
 from repro.common.units import KB, MB
 from repro.crypto import gf256
 from repro.crypto.erasure import CodedBlock, ErasureCoder
@@ -127,6 +128,14 @@ def test_coding_throughput_table(run_once, benchmark, capsys):
         assert row[3] > 20, f"parity-decode throughput collapsed: {row}"
         assert row[4] > row[3], f"systematic decode should beat parity decode: {row}"
 
+    # Trajectory entry: the largest payload of the paper's (4, 2) config.
+    headline = max((r for r in rows if r[0] == "(4,2)"), key=lambda r: r[1])
+    record_bench("coding", {
+        "encode_mbps_4_2": round(headline[2], 1),
+        "decode_parity_mbps_4_2": round(headline[3], 1),
+        "decode_systematic_mbps_4_2": round(headline[4], 1),
+    })
+
 
 def test_vectorized_beats_scalar_reference(run_once, benchmark, capsys):
     """Acceptance gate: >= 10x over the scalar reference at (4, 2), 1 MiB."""
@@ -170,3 +179,7 @@ def test_vectorized_beats_scalar_reference(run_once, benchmark, capsys):
     benchmark.extra_info["decode_speedup"] = round(decode_speedup, 1)
     assert encode_speedup >= 10, f"vectorised encode only {encode_speedup:.1f}x over scalar"
     assert decode_speedup >= 10, f"vectorised decode only {decode_speedup:.1f}x over scalar"
+    record_bench("coding", {
+        "encode_speedup_vs_scalar": round(encode_speedup, 1),
+        "decode_speedup_vs_scalar": round(decode_speedup, 1),
+    })

@@ -47,6 +47,7 @@ from repro.clouds.health import CloudHealthTracker, SuspicionPolicy
 from repro.common.types import Principal
 from repro.common.units import KB
 from repro.bench.report import percentile, render_table
+from repro.bench.trajectory import record_bench
 from repro.clouds.providers import make_cloud_of_clouds
 from repro.depsky.protocol import DepSkyClient
 from repro.simenv.environment import Simulation
@@ -177,6 +178,15 @@ def test_quorum_latency_sweep(run_once, benchmark, capsys):
     # Per-request timeouts also dodge the straggler, though later than a hedge.
     timeout_p99 = percentile(reads("degraded", "timeout"), 99)
     assert timeout_p99 < plain_p99
+
+    record_bench("quorum", {
+        "faultfree_read_p50_s": round(percentile(reads("fault-free", "plain"), 50), 4),
+        "faultfree_write_p50_s": round(
+            percentile(results[("fault-free", "plain")]["writes"], 50), 4),
+        "onedown_read_p50_s": round(percentile(reads("one-down", "plain"), 50), 4),
+        "degraded_plain_read_p99_s": round(plain_p99, 4),
+        "degraded_hedged_read_p99_s": round(hedged_p99, 4),
+    })
 
 
 # --------------------------------------------------------------------------
@@ -309,3 +319,10 @@ def test_outage_recovery_sweep(run_once, benchmark, capsys):
     hang_tracked = results[("hang", "suspect")]["outage_reads"]
     assert _mean(hang_untracked[1:]) > REQUEST_TIMEOUT
     assert _mean(hang_tracked[2:]) < REQUEST_TIMEOUT
+
+    record_bench("quorum", {
+        "hang_untracked_mean_s": round(_mean(hang_untracked[1:]), 4),
+        "hang_suspect_mean_s": round(_mean(hang_tracked[1:]), 4),
+        "crash_suspect_mean_s": round(
+            _mean(results[("crash", "suspect")]["outage_reads"][1:]), 4),
+    })

@@ -37,10 +37,14 @@ class ObjectACL:
         self.grants.pop(canonical_id, None)
 
     def allows(self, canonical_id: str, permission: Permission) -> bool:
-        """True if ``canonical_id`` holds ``permission`` on this object."""
+        """True if ``canonical_id`` holds ``permission`` on this object.
+
+        The pseudo-identity ``"*"`` grants to any authenticated identity —
+        used for world-shared object pools.
+        """
         if canonical_id == self.owner:
             return True
-        granted = self.grants.get(canonical_id, Permission.NONE)
+        granted = self.grants.get(canonical_id, Permission.NONE) | self.grants.get("*", Permission.NONE)
         return (granted & permission) == permission
 
     def check(self, principal: Principal, provider: str, permission: Permission) -> None:

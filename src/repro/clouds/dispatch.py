@@ -362,3 +362,75 @@ def dispatch_quorum(stages: Sequence[Sequence[QuorumRequest]], required: int,
     for requests in stages:
         call.stage(requests)
     return call.execute(required)
+
+
+class InstantCoalescer:
+    """Coalesce identical read quorum calls issued in the same virtual instant.
+
+    At scale, many logical operations resolve at the *same* point of the
+    virtual timeline (uncharged background work, several agents woken by
+    equal-timestamp events, the read-modify-write sequence inside one op).
+    Re-dispatching an identical read quorum — same key, same principal, no
+    intervening mutation — within one instant models nothing: the simulated
+    stores cannot have changed, so the second call would return byte-identical
+    responses and charge a wait the first call already paid.  The coalescer
+    absorbs such repeats into the first call's in-flight result.
+
+    The cache is valid for exactly one ``(virtual instant, mutation
+    generation)`` window: it is cleared whenever the simulated clock moves
+    *and* whenever :meth:`invalidate` reports a mutation (any mutating quorum
+    call, or a fault-injection step that changes what the clouds serve).
+    Entries are keyed by the caller (so a cached agreement never crosses an
+    access-control boundary) plus the cloud key.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        #: Monotonic mutation counter; bumped by :meth:`invalidate`.
+        self.generation = 0
+        #: Coalesced (absorbed) lookups / lookups that dispatched a real call.
+        self.hits = 0
+        self.misses = 0
+        self._stamp: float | None = None
+        self._cache: dict[Any, Any] = {}
+
+    def _window(self) -> None:
+        """Drop every entry from a previous instant (the clock moved)."""
+        now = self.sim.now()
+        if now != self._stamp:
+            self._stamp = now
+            if self._cache:
+                self._cache.clear()
+
+    def invalidate(self) -> None:
+        """The simulated world changed: nothing cached may be served again."""
+        self.generation += 1
+        self._cache.clear()
+
+    def lookup(self, key: Any) -> Any | None:
+        """The value stored for ``key`` this instant, or ``None`` on a miss."""
+        self._window()
+        value = self._cache.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def store(self, key: Any, value: Any) -> None:
+        """Publish one resolved call's result for the rest of this instant."""
+        self._window()
+        self._cache[key] = value
+
+    @staticmethod
+    def absorbed(required: int) -> QuorumCallStats:
+        """Zero-cost statistics of a coalesced call.
+
+        The absorbed call rode on a quorum that already resolved at this
+        instant, so it reaches its quorum immediately (``elapsed = 0``) and
+        dispatches no requests of its own.
+        """
+        return QuorumCallStats(
+            required=required, elapsed=0.0, gave_up_at=0.0, traces=[],
+            stage_started_at=(0.0,), stage_waits=(0.0,), winners=(),
+        )

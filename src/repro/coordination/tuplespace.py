@@ -23,11 +23,20 @@ Two extensions from the SCFS paper are reproduced:
 
 The class is a deterministic state machine: it can be used standalone or
 replicated through :class:`~repro.coordination.replication.ReplicatedStateMachine`.
+
+Storage is indexed so that the space scales to 10^5+ tuples: entries live in
+insertion-ordered dicts keyed by their sequence number, with secondary indexes
+on the first field and on the ``(first, second)`` field pair.  SCFS templates
+almost always pin those positions (``("entry", key, ...)``, ``("lock", name,
+...)``), so ``rdp``/``inp``/``cas``/``replace`` resolve in O(1) instead of
+scanning every stored tuple, and expiry sweeps only visit lease-bearing
+tuples.  Tuple fields must be hashable (they already had to support ``==`` for
+template matching); matching semantics are unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 from repro.common.errors import ConflictError, TupleNotFoundError
@@ -54,7 +63,7 @@ def matches(template: Template, fields: Tuple) -> bool:
     return all(t is ANY or t == f for t, f in zip(template, fields))
 
 
-@dataclass
+@dataclass(slots=True)
 class TupleEntry:
     """A stored tuple plus its housekeeping metadata."""
 
@@ -69,7 +78,6 @@ class TupleEntry:
         return self.expires_at is not None and now >= self.expires_at
 
 
-@dataclass
 class DepSpace:
     """Deterministic DepSpace state machine (single logical space).
 
@@ -77,10 +85,24 @@ class DepSpace:
     replicated copies expire timed tuples identically.
     """
 
-    entries: list[TupleEntry] = field(default_factory=list)
-    triggers: dict[str, Callable[[Tuple, Any], Tuple]] = field(default_factory=dict)
-    _sequence: int = 0
-    operations_applied: int = 0
+    def __init__(self) -> None:
+        self.triggers: dict[str, Callable[[Tuple, Any], Tuple]] = {}
+        self.operations_applied: int = 0
+        self._sequence: int = 0
+        # All live entries, keyed by sequence number.  Python dicts preserve
+        # insertion order, so iterating values() reproduces the append-order
+        # scan the pre-index implementation performed over a list.
+        self._entries: dict[int, TupleEntry] = {}
+        # Secondary indexes: first field, and (first, second) field pair.
+        self._by_head: dict[Any, dict[int, TupleEntry]] = {}
+        self._by_pair: dict[tuple, dict[int, TupleEntry]] = {}
+        # Lease-bearing entries only — the sweep never touches persistent ones.
+        self._timed: dict[int, TupleEntry] = {}
+
+    @property
+    def entries(self) -> list[TupleEntry]:
+        """Live entries in insertion order (introspection/debugging view)."""
+        return list(self._entries.values())
 
     # ------------------------------------------------------------------ admin
 
@@ -93,14 +115,68 @@ class DepSpace:
         """
         self.triggers[name] = func
 
+    # --------------------------------------------------------------- indexing
+
+    def _bucket_add(self, entry: TupleEntry) -> None:
+        fields = entry.fields
+        if not fields:
+            return
+        self._by_head.setdefault(fields[0], {})[entry.sequence] = entry
+        if len(fields) >= 2:
+            self._by_pair.setdefault((fields[0], fields[1]), {})[entry.sequence] = entry
+
+    def _bucket_discard(self, entry: TupleEntry, fields: Tuple) -> None:
+        if not fields:
+            return
+        seq = entry.sequence
+        bucket = self._by_head.get(fields[0])
+        if bucket is not None:
+            bucket.pop(seq, None)
+            if not bucket:
+                del self._by_head[fields[0]]
+        if len(fields) >= 2:
+            pair = (fields[0], fields[1])
+            pair_bucket = self._by_pair.get(pair)
+            if pair_bucket is not None:
+                pair_bucket.pop(seq, None)
+                if not pair_bucket:
+                    del self._by_pair[pair]
+
+    def _insert(self, entry: TupleEntry) -> None:
+        self._entries[entry.sequence] = entry
+        self._bucket_add(entry)
+        if entry.expires_at is not None:
+            self._timed[entry.sequence] = entry
+
+    def _remove(self, entry: TupleEntry) -> None:
+        del self._entries[entry.sequence]
+        self._bucket_discard(entry, entry.fields)
+        self._timed.pop(entry.sequence, None)
+
+    def _candidates(self, template: Template) -> Iterable[TupleEntry]:
+        """Entries that could match ``template``, narrowed via the indexes.
+
+        A template only matches tuples of the same arity, so when its first
+        (or first two) fields are concrete the corresponding index bucket is
+        a complete candidate set.  Buckets are kept in sequence order, so the
+        first match equals the one the old full scan would have returned.
+        """
+        if len(template) >= 2 and template[0] is not ANY and template[1] is not ANY:
+            return self._by_pair.get((template[0], template[1]), {}).values()
+        if template and template[0] is not ANY:
+            return self._by_head.get(template[0], {}).values()
+        return self._entries.values()
+
     # ------------------------------------------------------------- primitives
 
     def _sweep(self, now: float) -> None:
-        self.entries = [e for e in self.entries if not e.expired(now)]
+        expired = [e for e in self._timed.values() if e.expired(now)]
+        for entry in expired:
+            self._remove(entry)
 
     def _find(self, template: Template, now: float) -> TupleEntry | None:
         self._sweep(now)
-        for entry in self.entries:
+        for entry in self._candidates(template):
             if matches(template, entry.fields):
                 return entry
         return None
@@ -117,7 +193,7 @@ class DepSpace:
             owner=owner,
             sequence=self._sequence,
         )
-        self.entries.append(entry)
+        self._insert(entry)
         self.operations_applied += 1
         return entry
 
@@ -131,7 +207,7 @@ class DepSpace:
         """Read all tuples matching ``template``."""
         self._sweep(now)
         self.operations_applied += 1
-        return [e.fields for e in self.entries if matches(template, e.fields)]
+        return [e.fields for e in self._candidates(template) if matches(template, e.fields)]
 
     def inp(self, template: Template, now: float) -> Tuple | None:
         """Read and remove one tuple matching ``template``; None if absent."""
@@ -139,7 +215,7 @@ class DepSpace:
         entry = self._find(template, now)
         if entry is None:
             return None
-        self.entries.remove(entry)
+        self._remove(entry)
         return entry.fields
 
     def cas(self, template: Template, fields: Tuple, now: float,
@@ -167,7 +243,7 @@ class DepSpace:
         entry = self._find(template, now)
         if entry is None:
             return False
-        self.entries.remove(entry)
+        self._remove(entry)
         self.out(fields, now, lease=lease, owner=owner)
         return True
 
@@ -192,28 +268,47 @@ class DepSpace:
             raise TupleNotFoundError(f"no trigger registered under {name!r}")
         rewrite = self.triggers[name]
         self._sweep(now)
-        count = 0
-        for entry in self.entries:
-            if matches(template, entry.fields):
-                entry.fields = tuple(rewrite(entry.fields, argument))
-                count += 1
-        return count
+        matched = [e for e in self._candidates(template) if matches(template, e.fields)]
+        touched_heads: set[Any] = set()
+        touched_pairs: set[tuple] = set()
+        for entry in matched:
+            old_fields = entry.fields
+            new_fields = tuple(rewrite(old_fields, argument))
+            if new_fields != old_fields:
+                self._bucket_discard(entry, old_fields)
+                entry.fields = new_fields
+                self._bucket_add(entry)
+                if new_fields:
+                    touched_heads.add(new_fields[0])
+                    if len(new_fields) >= 2:
+                        touched_pairs.add((new_fields[0], new_fields[1]))
+        # Moved entries land at the end of their new bucket; restore sequence
+        # order so future scans keep returning the oldest match first.
+        for head in touched_heads:
+            bucket = self._by_head.get(head)
+            if bucket is not None and len(bucket) > 1:
+                self._by_head[head] = dict(sorted(bucket.items()))
+        for pair in touched_pairs:
+            pair_bucket = self._by_pair.get(pair)
+            if pair_bucket is not None and len(pair_bucket) > 1:
+                self._by_pair[pair] = dict(sorted(pair_bucket.items()))
+        return len(matched)
 
     def count(self, template: Template, now: float) -> int:
         """Number of live tuples matching ``template``."""
         self._sweep(now)
-        return sum(1 for e in self.entries if matches(template, e.fields))
+        return sum(1 for e in self._candidates(template) if matches(template, e.fields))
 
     def total_tuples(self, now: float) -> int:
         """Number of live tuples in the space."""
         self._sweep(now)
-        return len(self.entries)
+        return len(self._entries)
 
     def stored_bytes(self, now: float) -> int:
         """Approximate memory footprint of the live tuples."""
         self._sweep(now)
         total = 0
-        for entry in self.entries:
+        for entry in self._entries.values():
             for fld in entry.fields:
                 if isinstance(fld, bytes):
                     total += len(fld)
@@ -229,7 +324,7 @@ class DepSpace:
         """Dispatch a replicated command (see :class:`ReplicatedStateMachine`)."""
         operation, args, kwargs = command
         handler = getattr(self, operation, None)
-        if handler is None or operation.startswith("_"):
+        if handler is None or not callable(handler) or operation.startswith("_"):
             raise ConflictError(f"unknown DepSpace operation {operation!r}")
         return handler(*args, **kwargs)
 

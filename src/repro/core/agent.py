@@ -523,7 +523,9 @@ class SCFSAgent:
         applied = self.stats.extra.setdefault("acl_propagations", 0)
         parties = {meta.owner: Permission.READ_WRITE}
         for user, permission in meta.grants.items():
-            if user != self.principal.name:
+            # "*" is a pseudo-user (world grant, covered by bucket policies on
+            # the clouds) — there is no registry entry to look up for it.
+            if user != self.principal.name and user != "*":
                 parties[user] = permission
         for user, permission in parties.items():
             marker = f"aclprop:{meta.file_id}:{user}"

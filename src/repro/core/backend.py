@@ -301,7 +301,10 @@ class CloudOfCloudsBackend(StorageBackend):
     (timeouts/retries/hedging) and, when suspicion is enabled, the per-client
     :class:`~repro.clouds.health.CloudHealthTracker` that demotes suspected
     clouds out of the primary quorum stage.  An explicit ``policy`` argument
-    overrides the one derived from ``dispatch``.
+    overrides the one derived from ``dispatch``.  ``coalescer`` is the
+    deployment-wide :class:`~repro.clouds.dispatch.InstantCoalescer` (or
+    ``None``): it is *shared* across the backends of all agents so that
+    identical same-instant metadata reads coalesce across clients.
     """
 
     def __init__(
@@ -313,6 +316,7 @@ class CloudOfCloudsBackend(StorageBackend):
         encrypt: bool = True,
         policy: DispatchPolicy | None = None,
         dispatch=None,
+        coalescer=None,
     ):
         self.sim = sim
         self.principal = principal
@@ -323,7 +327,7 @@ class CloudOfCloudsBackend(StorageBackend):
         )
         self.client = DepSkyClient(
             sim, clouds, principal, f=f, encrypt=encrypt, preferred_quorums=True,
-            policy=policy, health=self.health,
+            policy=policy, health=self.health, coalescer=coalescer,
         )
         self.name = f"cloud-of-clouds(f={f}, n={self.client.n})"
         self.read_paths = ReadPathStats()

@@ -98,6 +98,11 @@ class DispatchPolicyConfig:
     probe_backoff_max: float = 300.0
     #: Latency-EWMA multiple over the peer median that flags a straggler.
     degraded_factor: float = 3.0
+    #: Coalesce identical metadata read quorums issued in the same virtual
+    #: instant through one deployment-wide
+    #: :class:`~repro.clouds.dispatch.InstantCoalescer` (the scale-out
+    #: optimisation; off by default so existing variants replay unchanged).
+    coalesce_instant: bool = False
 
     @property
     def tracks_health(self) -> bool:

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.common.types import Principal
 from repro.clouds.accounting import UsageBreakdown
+from repro.clouds.dispatch import InstantCoalescer
 from repro.clouds.eventual import EventuallyConsistentStore
 from repro.clouds.providers import COC_STORAGE_PROVIDERS, make_cloud_of_clouds, make_provider
 from repro.coordination.adapters import make_coordination_service
@@ -56,6 +57,13 @@ class SCFSDeployment:
         self.clouds: list[EventuallyConsistentStore] = self._build_clouds()
         self.coordination: CoordinationService | None = self._build_coordination()
         self.filesystems: dict[str, SCFSFileSystem] = {}
+        # One coalescer for the whole deployment (when enabled): same-instant
+        # metadata read quorums coalesce across every agent's client.
+        self.coalescer = (
+            InstantCoalescer(self.sim)
+            if config.dispatch.coalesce_instant and config.backend is BackendKind.COC
+            else None
+        )
 
     # ------------------------------------------------------------- constructors
 
@@ -116,7 +124,7 @@ class SCFSDeployment:
         return CloudOfCloudsBackend(
             self.sim, self.clouds, principal,
             f=self.config.fault_tolerance, encrypt=self.config.encrypt_data,
-            dispatch=self.config.dispatch,
+            dispatch=self.config.dispatch, coalescer=self.coalescer,
         )
 
     def create_agent(self, username: str, config: SCFSConfig | None = None,

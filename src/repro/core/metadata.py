@@ -107,10 +107,16 @@ class FileMetadata:
         return bool(self.grants)
 
     def allows(self, user: str, permission: Permission) -> bool:
-        """True if ``user`` may perform ``permission`` on this object."""
+        """True if ``user`` may perform ``permission`` on this object.
+
+        A grant to the pseudo-user ``"*"`` applies to any authenticated user
+        (used for world-shared file pools, mirroring
+        :meth:`repro.coordination.base.EntryACL.allows`).
+        """
         if user == self.owner:
             return True
-        return (self.grants.get(user, Permission.NONE) & permission) == permission
+        granted = self.grants.get(user, Permission.NONE) | self.grants.get("*", Permission.NONE)
+        return (granted & permission) == permission
 
     def grant(self, user: str, permission: Permission) -> None:
         """Grant (or revoke, with ``Permission.NONE``) access to ``user``."""

@@ -72,10 +72,16 @@ from repro.common.errors import (
 from repro.common.types import Permission, Principal
 from repro.clouds.dispatch import (
     DispatchPolicy,
+    InstantCoalescer,
     QuorumCall,
     QuorumCallStats,
     QuorumRequest,
 )
+
+#: Quorum ops with server-side effects: any of these changes what a
+#: subsequent read quorum would return, so they expire the instant-coalescing
+#: window (see :class:`~repro.clouds.dispatch.InstantCoalescer`).
+_MUTATING_OPS = frozenset({"block_put", "meta_put", "block_delete", "acl"})
 from repro.clouds.health import CloudHealthTracker
 from repro.clouds.object_store import ObjectStore
 from repro.crypto.cipher import SymmetricCipher, generate_key
@@ -178,6 +184,7 @@ class DepSkyClient:
         charge_latency: bool = True,
         policy: DispatchPolicy | None = None,
         health: CloudHealthTracker | None = None,
+        coalescer: InstantCoalescer | None = None,
     ):
         if f < 0:
             raise ValueError("f must be non-negative")
@@ -194,6 +201,11 @@ class DepSkyClient:
         self.charge_latency = charge_latency
         self.policy = policy
         self.health = health
+        #: Optional deployment-wide :class:`InstantCoalescer`: identical
+        #: metadata read quorums issued in the same virtual instant (by this
+        #: or any other client sharing the coalescer) are absorbed into the
+        #: first call's result instead of re-dispatched.
+        self.coalescer = coalescer
         self.coder = ErasureCoder(n=self.n, k=self.k)
         #: Last metadata this client successfully wrote, per unit, paired
         #: with its *knowledge floor* — the highest version number the client
@@ -237,6 +249,11 @@ class DepSkyClient:
 
     def _tap(self, op: str, unit_id: str, stats: QuorumCallStats) -> None:
         """Report one resolved quorum call to the attached observer (if any)."""
+        if self.coalescer is not None and op in _MUTATING_OPS:
+            # The sends of a quorum call execute against the simulated stores
+            # during ``execute()``, so by the time the call is tapped the
+            # mutation has happened: anything coalesced is stale.
+            self.coalescer.invalidate()
         if self.on_quorum is not None:
             self.on_quorum(op, unit_id, stats)
 
@@ -305,37 +322,64 @@ class DepSkyClient:
         read-modify-writes must never roll the history back just because the
         clouds have not propagated our own put yet).  Pure read paths pass
         ``False``: they must reflect what the clouds actually serve.
+
+        With a :attr:`coalescer` attached, a repeat of this read within the
+        same virtual instant (same key and principal, no intervening
+        mutation) is absorbed into the earlier call's result: it returns the
+        identical agreement with zero-cost statistics instead of
+        re-dispatching the quorum.
         """
         key = self._meta_key(unit_id)
-
-        def parse(blob: bytes) -> DataUnitMetadata:
-            try:
-                return DataUnitMetadata.from_bytes(blob)
-            except ValueError as exc:
-                raise IntegrityError(f"unparseable metadata copy of {unit_id!r}") from exc
-
-        call = self._call().stage([self._get_request(c, key, parse) for c in self.clouds])
-        stats = call.execute(required=self.k)
-        self._tap("meta_read", unit_id, stats)
-        copies = [trace.value[0] for trace in stats.successes]
+        coalesce_key = None
         best: DataUnitMetadata | None = None
         best_version = -1
-        if copies:
-            # Count confirmations of each (version, digest) pair across clouds.
-            confirmations: dict[tuple[int, str], int] = {}
-            for copy in copies:
-                for record in copy.versions:
-                    pair = (record.version, record.data_digest)
-                    confirmations[pair] = confirmations.get(pair, 0) + 1
-            agreed_pairs = {pair for pair, count in confirmations.items() if count >= self.k}
-            for copy in copies:
-                latest = copy.latest()
-                if latest is None:
-                    continue
-                pair = (latest.version, latest.data_digest)
-                if (pair in agreed_pairs or len(copies) < self.k) and latest.version > best_version:
-                    best, best_version = copy, latest.version
-            best = best or copies[0]
+        stats: QuorumCallStats | None = None
+        if self.coalescer is not None:
+            # Keyed per principal: a cached agreement must never satisfy a
+            # caller the clouds' access checks would have denied.
+            coalesce_key = (self.principal.name, key)
+            absorbed = self.coalescer.lookup(coalesce_key)
+            if absorbed is not None:
+                blob, best_version = absorbed
+                best = DataUnitMetadata.from_bytes(blob) if blob is not None else None
+                stats = self.coalescer.absorbed(self.k)
+        if stats is None:
+
+            def parse(blob: bytes) -> DataUnitMetadata:
+                try:
+                    return DataUnitMetadata.from_bytes(blob)
+                except ValueError as exc:
+                    raise IntegrityError(f"unparseable metadata copy of {unit_id!r}") from exc
+
+            call = self._call().stage([self._get_request(c, key, parse) for c in self.clouds])
+            stats = call.execute(required=self.k)
+            self._tap("meta_read", unit_id, stats)
+            copies = [trace.value[0] for trace in stats.successes]
+            if copies:
+                # Count confirmations of each (version, digest) pair across clouds.
+                confirmations: dict[tuple[int, str], int] = {}
+                for copy in copies:
+                    for record in copy.versions:
+                        pair = (record.version, record.data_digest)
+                        confirmations[pair] = confirmations.get(pair, 0) + 1
+                agreed_pairs = {pair for pair, count in confirmations.items() if count >= self.k}
+                for copy in copies:
+                    latest = copy.latest()
+                    if latest is None:
+                        continue
+                    pair = (latest.version, latest.data_digest)
+                    if (pair in agreed_pairs or len(copies) < self.k) and latest.version > best_version:
+                        best, best_version = copy, latest.version
+                best = best or copies[0]
+            if coalesce_key is not None:
+                # Publish the *cloud-visible* agreement (pre read-your-writes
+                # merge, which is per client) as serialized bytes: callers
+                # mutate the metadata they receive, so every absorbed read
+                # reconstructs its own private copy.
+                self.coalescer.store(
+                    coalesce_key,
+                    (best.to_bytes() if best is not None else None, best_version),
+                )
         entry = self._last_written.get(unit_id) if use_cached else None
         if entry is not None:
             floor, cached = entry
@@ -630,6 +674,10 @@ class DepSkyClient:
     def destroy_unit(self, unit_id: str) -> None:
         """Remove every object of the data unit from every cloud."""
         self._last_written.pop(unit_id, None)
+        if self.coalescer is not None:
+            # Direct deletes bypass the quorum engine, so expire the
+            # coalescing window by hand.
+            self.coalescer.invalidate()
         prefix = self.unit_prefix(unit_id)
         for cloud in self.clouds:
             try:

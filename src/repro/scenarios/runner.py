@@ -14,6 +14,21 @@ seed through :func:`~repro.simenv.environment.derive_rng` forks — per-agent
 workload streams, the interleaving stream and the think-time stream are all
 independent, so a same-seed rerun reproduces the trace byte for byte
 (:meth:`ScenarioResult.fingerprint`).
+
+Two scheduling modes exist (``spec.scheduling``):
+
+* ``"lockstep"`` — the classic global round robin: one shared RNG picks which
+  agent issues the next operation, operations never overlap in virtual time.
+* ``"event-driven"`` — every agent is a task on the simulation's event heap;
+  an agent finishes one operation, sleeps a per-agent think time and wakes up
+  again, so agents genuinely interleave with each other *and* with background
+  work (uploads, probes) on the virtual timeline.  This is the mode that
+  scales to 1000+ concurrent agents.
+
+Pooled scenarios (``spec.pooled``) skip the per-file setup traffic entirely:
+:func:`~repro.scenarios.pool.prime_pool` installs the shared files directly
+into the clouds and the coordination replicas with world grants, so a run can
+start against a 10^5-file namespace in seconds.
 """
 
 from __future__ import annotations
@@ -33,6 +48,7 @@ from repro.common.types import Permission
 from repro.core.backend import CloudOfCloudsBackend
 from repro.core.deployment import SCFSDeployment
 from repro.scenarios.invariants import Violation, check_all
+from repro.scenarios.pool import prime_pool
 from repro.scenarios.spec import FaultPhase, ScenarioSpec
 from repro.scenarios.trace import TraceRecorder
 from repro.simenv.environment import Simulation, derive_rng
@@ -169,6 +185,10 @@ class ScenarioRunner:
                     rsm.make_byzantine(index)
             else:
                 rsm.recover_replica(index)
+        if deployment.coalescer is not None:
+            # A fault transition changes what the clouds serve without going
+            # through a mutating quorum call, so expire the coalescing window.
+            deployment.coalescer.invalidate()
         recorder.record(f"fault_{action}", time=now, target=phase.target,
                         fault=phase.kind, factor=phase.factor)
 
@@ -204,8 +224,11 @@ class ScenarioRunner:
                 handle = fs.open(path, "w", shared=True)
                 fs.write(handle, _payload(size, tag))
                 fs.close(handle)
-                if not existed:
+                if not existed and not self.spec.pooled:
                     # The (re)creator owns the file: re-grant the other agents.
+                    # Pooled files carry a world grant and are never unlinked,
+                    # so the per-agent re-grant loop (quadratic in the agent
+                    # count) never applies to them.
                     for other in self.spec.agents:
                         if other.name != agent_name:
                             fs.setfacl(path, other.name, Permission.READ_WRITE)
@@ -239,29 +262,15 @@ class ScenarioRunner:
                             op=kind, path=path, benign=False,
                             error=f"{type(exc).__name__}: {exc}")
 
-    # -------------------------------------------------------------------- run
+    # -------------------------------------------------------------- scheduling
 
-    def run(self) -> ScenarioResult:
-        """Execute the scenario; returns the checked :class:`ScenarioResult`."""
-        spec = self.spec
-        sim = Simulation(seed=spec.seed)
-        deployment = SCFSDeployment(spec.config(), sim=sim)
-        recorder = TraceRecorder()
-        stats: dict[str, int] = {}
-
-        for agent_spec in spec.agents:
-            self._wire_agent(deployment, agent_spec.name, recorder)
-        self._setup_files(deployment, recorder)
-
-        queues = {
-            a.name: self._agent_ops(a.name, a.ops, a.mix) for a in spec.agents
-        }
-        order = derive_rng(spec.seed, "interleave")
-        actions = self._fault_actions()
-        live_windows: dict[FaultPhase, FaultWindow] = {}
-
+    def _run_lockstep(self, deployment: SCFSDeployment, recorder: TraceRecorder,
+                      queues: dict[str, list], actions, live_windows, stats) -> None:
+        """The classic global round robin: one op at a time, shared RNG picks."""
+        sim = deployment.sim
+        order = derive_rng(self.spec.seed, "interleave")
         index = 0
-        remaining = [a.name for a in spec.agents for _ in range(a.ops)]
+        remaining = [a.name for a in self.spec.agents for _ in range(a.ops)]
         while remaining:
             for action, phase in actions.pop(index, ()):
                 self._apply_fault(deployment, recorder, action, phase, live_windows)
@@ -274,6 +283,76 @@ class ScenarioRunner:
             if order.random() < 0.5:
                 sim.advance(order.uniform(0.1, 2.0))
             index += 1
+
+    def _run_event_driven(self, deployment: SCFSDeployment, recorder: TraceRecorder,
+                          queues: dict[str, list], actions, live_windows, stats) -> None:
+        """Drive every agent as a recurring task on the simulation's event heap.
+
+        Each agent runs one operation, sleeps a think time drawn from its own
+        forked stream and re-schedules itself; :meth:`Simulation.run_all`
+        steps through the merged event sequence in deterministic ``(time,
+        seq)`` order.  Operations advance the virtual clock while they run, so
+        other agents' due steps (and background uploads) execute as soon as
+        the running operation returns — true asynchronous interleaving without
+        a global round-robin pick.  Fault phases stay anchored to the *global*
+        op index (the order ops actually start), exactly as in lockstep mode.
+        """
+        sim = deployment.sim
+        progress = {"index": 0}
+
+        def make_step(agent_name: str, think) -> callable:
+            def step() -> None:
+                queue = queues[agent_name]
+                if not queue:
+                    return
+                index = progress["index"]
+                progress["index"] += 1
+                for action, phase in actions.pop(index, ()):
+                    self._apply_fault(deployment, recorder, action, phase, live_windows)
+                op = queue.pop(0)
+                self._run_op(deployment, recorder, agent_name, op, tag=index, stats=stats)
+                if queue:
+                    delay = think.uniform(0.1, 2.0) if think.random() < 0.5 else 0.001
+                    sim.schedule(delay, step, name=f"agent-step:{agent_name}")
+            return step
+
+        for agent_spec in self.spec.agents:
+            think = derive_rng(self.spec.seed, f"think:{agent_spec.name}")
+            sim.schedule(think.uniform(0.0, 0.5), make_step(agent_spec.name, think),
+                         name=f"agent-step:{agent_spec.name}")
+        # Generous runaway guard: every op re-schedules at most one step, and
+        # background work (uploads, probes, GC) stays proportional to the ops.
+        sim.run_all(max_events=200 * max(1, self.spec.total_ops) + 10_000)
+
+    # -------------------------------------------------------------------- run
+
+    def run(self) -> ScenarioResult:
+        """Execute the scenario; returns the checked :class:`ScenarioResult`."""
+        spec = self.spec
+        sim = Simulation(seed=spec.seed)
+        deployment = SCFSDeployment(spec.config(), sim=sim)
+        recorder = TraceRecorder()
+        stats: dict[str, int] = {}
+
+        if spec.pooled:
+            prime_pool(deployment, spec, recorder)
+        for agent_spec in spec.agents:
+            self._wire_agent(deployment, agent_spec.name, recorder)
+        if not spec.pooled:
+            self._setup_files(deployment, recorder)
+
+        queues = {
+            a.name: self._agent_ops(a.name, a.ops, a.mix) for a in spec.agents
+        }
+        actions = self._fault_actions()
+        live_windows: dict[FaultPhase, FaultWindow] = {}
+
+        if spec.scheduling == "event-driven":
+            self._run_event_driven(deployment, recorder, queues, actions,
+                                   live_windows, stats)
+        else:
+            self._run_lockstep(deployment, recorder, queues, actions,
+                               live_windows, stats)
         # Close any fault window that is still open past the last op.
         for pending in sorted(actions):
             for action, phase in actions[pending]:
@@ -289,6 +368,9 @@ class ScenarioRunner:
         stats["quorum_calls"] = recorder.count("quorum")
         stats["commits"] = recorder.count("commit")
         stats["lock_acquisitions"] = recorder.count("lock")
+        if deployment.coalescer is not None:
+            stats["coalesced_reads"] = deployment.coalescer.hits
+            stats["coalescer_misses"] = deployment.coalescer.misses
         fingerprint = recorder.fingerprint()
         violations = check_all(recorder, deployment,
                                staleness=spec.metadata_expiration)

@@ -38,6 +38,16 @@ FAULT_MIXES: tuple[str, ...] = (
 #: Agent names, in creation order (index into this for the i-th agent).
 AGENT_NAMES: tuple[str, ...] = ("alice", "bob", "carol", "dave", "erin", "frank")
 
+#: How the runner interleaves the agents' operations (see ScenarioRunner).
+SCHEDULING_MODES: tuple[str, ...] = ("lockstep", "event-driven")
+
+
+def agent_name(index: int) -> str:
+    """Name of the ``index``-th agent: the classic six, then synthetic ones."""
+    if index < len(AGENT_NAMES):
+        return AGENT_NAMES[index]
+    return f"agent-{index:04d}"
+
 #: Workload operation kinds and their meaning (see ScenarioRunner._run_op).
 OP_KINDS: tuple[str, ...] = ("write", "read", "append", "fsync", "stat", "unlink", "gc")
 
@@ -120,6 +130,16 @@ class ScenarioSpec:
     metadata_expiration: float = 0.5
     #: Dispatch/health knobs (None = plain staged dispatch, no suspicion).
     dispatch: DispatchPolicyConfig | None = None
+    #: How agents interleave: "lockstep" (the classic global-RNG round robin)
+    #: or "event-driven" (each agent is a task on the simulation's event heap).
+    scheduling: str = "lockstep"
+    #: Pooled scenarios skip per-file setup traffic: the shared files are
+    #: *primed* directly into the clouds and the coordination service (with
+    #: world grants) before the workload starts — the only way a run can hold
+    #: 10^5+ files without paying one full write per file up front.
+    pooled: bool = False
+    #: Number of coordination-service partitions (§5 scalability extension).
+    partitions: int = 1
 
     @property
     def total_ops(self) -> int:
@@ -134,6 +154,11 @@ class ScenarioSpec:
             raise ValueError("a scenario needs at least one shared file")
         if self.mix not in FAULT_MIXES:
             raise ValueError(f"unknown fault mix {self.mix!r}")
+        if self.scheduling not in SCHEDULING_MODES:
+            raise ValueError(f"unknown scheduling mode {self.scheduling!r}; "
+                             f"known modes: {SCHEDULING_MODES}")
+        if self.partitions < 1:
+            raise ValueError("a scenario needs at least one coordination partition")
         for agent in self.agents:
             agent.mix.validate()
         for phase in self.faults:
@@ -150,12 +175,25 @@ class ScenarioSpec:
         overrides = {
             "lock_lease": 3600.0,
             "caches": CacheConfig(metadata_expiration=self.metadata_expiration),
-            "gc": GarbageCollectionPolicy(written_bytes_threshold=256 * 1024,
-                                          versions_to_keep=3),
+            # Pooled scenarios disable automatic collection: the collector's
+            # owned-paths scan is a full namespace listing, which would be the
+            # single super-linear operation of a 10^5-file run.
+            "gc": GarbageCollectionPolicy(enabled=False)
+            if self.pooled
+            else GarbageCollectionPolicy(written_bytes_threshold=256 * 1024,
+                                         versions_to_keep=3),
+            "coordination_partitions": self.partitions,
         }
         if self.dispatch is not None:
             overrides["dispatch"] = self.dispatch
-        return SCFSConfig.for_variant(self.variant, **overrides)
+        config = SCFSConfig.for_variant(self.variant, **overrides)
+        if self.pooled:
+            # Primed files share one plaintext pool payload; disabling the
+            # per-version random key keeps their coded blocks byte-identical,
+            # so priming can store *one* shared blob per block index.
+            config = replace(config, encrypt_data=False)
+            config.validate()
+        return config
 
     def repro_command(self) -> str:
         """Shell command that reruns exactly this scenario (same trace bytes)."""
@@ -176,8 +214,8 @@ class ScenarioSpec:
         """Derive a full scenario from one seed (pure: same inputs, same spec)."""
         if mix not in FAULT_MIXES:
             raise ValueError(f"unknown fault mix {mix!r}; known mixes: {FAULT_MIXES}")
-        if not 1 <= agents <= len(AGENT_NAMES):
-            raise ValueError(f"agents must be in 1..{len(AGENT_NAMES)}")
+        if agents < 1:
+            raise ValueError("a scenario needs at least one agent")
         rng = derive_rng(seed, f"scenario:{mix}")
         # Always consume the variant draw, even when a variant is forced:
         # otherwise forcing one shifts the RNG stream and the fault phases of
@@ -188,13 +226,55 @@ class ScenarioSpec:
             # exercises both the blocking and the non-blocking close path.
             variant = drawn
         agent_specs = tuple(
-            AgentSpec(name=AGENT_NAMES[i], ops=ops_per_agent) for i in range(agents)
+            AgentSpec(name=agent_name(i), ops=ops_per_agent) for i in range(agents)
         )
         files = tuple(f"/shared/file-{i}.dat" for i in range(shared_files))
         faults, dispatch = _faults_for_mix(mix, rng)
         spec = cls(
             seed=seed, mix=mix, variant=variant, agents=agent_specs,
             faults=faults, shared_files=files, dispatch=dispatch,
+        )
+        spec.validate()
+        return spec
+
+    @classmethod
+    def generate_scale(cls, seed: int, agents: int = 1000, files: int = 100_000,
+                       ops_per_agent: int = 20, directories: int = 32,
+                       partitions: int = 4, mix: str = "fault-free") -> "ScenarioSpec":
+        """A pooled, event-driven spec sized for the 1000+-agent scale sweep.
+
+        The shared files live under ``directories`` top-level pool directories
+        so that :func:`~repro.coordination.partitioned.partition_by_top_level_directory`
+        spreads their metadata across the coordination partitions.  The
+        workload touches existing files only (read/stat/write/append): file
+        churn is what the regular mixes cover, scale is about many agents and
+        a huge primed namespace.
+        """
+        if agents < 1 or files < 1 or directories < 1:
+            raise ValueError("scale scenarios need at least one agent, file and directory")
+        rng = derive_rng(seed, f"scenario:scale:{mix}")
+        scale_mix = WorkloadMix(
+            name="scale",
+            weights=(("read", 5.0), ("stat", 2.0), ("write", 2.0), ("append", 1.0)),
+            min_size=32, max_size=256,
+        )
+        agent_specs = tuple(
+            AgentSpec(name=agent_name(i), ops=ops_per_agent, mix=scale_mix)
+            for i in range(agents)
+        )
+        paths = tuple(
+            f"/pool-{i % directories}/file-{i}.dat" for i in range(files)
+        )
+        faults, dispatch = _faults_for_mix(mix, rng)
+        # Scale runs coalesce identical same-instant metadata read quorums —
+        # the batching half of the scale-out work (regular mixes leave it off
+        # to keep their replay fingerprints stable).
+        dispatch = (replace(dispatch, coalesce_instant=True) if dispatch is not None
+                    else DispatchPolicyConfig(coalesce_instant=True))
+        spec = cls(
+            seed=seed, mix=mix, variant="SCFS-CoC-NB", agents=agent_specs,
+            faults=faults, shared_files=paths, dispatch=dispatch,
+            scheduling="event-driven", pooled=True, partitions=partitions,
         )
         spec.validate()
         return spec

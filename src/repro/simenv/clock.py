@@ -43,7 +43,17 @@ class SimClock:
         return self._now
 
     def advance_to(self, deadline: float) -> float:
-        """Advance the clock to ``deadline`` if it is in the future."""
+        """Advance the clock to ``deadline``.
+
+        ``deadline == now`` is a no-op; a deadline in the past raises
+        :class:`ValueError` — simulated time is monotonic, and a backwards
+        deadline always indicates a scheduling bug in the caller (it used to
+        be silently ignored, which hid exactly those bugs).
+        """
+        if deadline < self._now:
+            raise ValueError(
+                f"cannot move simulated time backwards (now={self._now}, deadline={deadline})"
+            )
         if deadline > self._now:
             self.advance(deadline - self._now)
         return self._now

@@ -139,8 +139,68 @@ class Simulation:
         return sum(1 for t in self._queue if not t.cancelled)
 
     def run_until(self, deadline: float) -> None:
-        """Advance the clock to ``deadline``, executing all tasks due on the way."""
+        """Advance the clock to ``deadline``, executing all tasks due on the way.
+
+        The clock stops at each pending task's own deadline in turn (so every
+        task observes *its* scheduled time, not ``deadline``), then settles at
+        ``deadline``.  A deadline in the past raises :class:`ValueError` (it
+        used to be silently skipped, together with any task due before it).
+        """
+        if deadline < self.clock.now():
+            raise ValueError(
+                f"cannot run_until a past deadline (now={self.clock.now()}, "
+                f"deadline={deadline})"
+            )
+        guard = 0
+        while True:
+            self._run_due_tasks()
+            head = self._next_live_task()
+            if head is None or head.when > deadline:
+                break
+            self.clock.advance_to(head.when)
+            guard += 1
+            if guard > 10_000_000:  # pragma: no cover - requires a task storm
+                raise RuntimeError("run_until did not converge (task storm?)")
         self.clock.advance_to(deadline)
+
+    def step(self) -> bool:
+        """Advance to the next pending event and run everything due there.
+
+        The heap-scheduler primitive: pops the earliest live task (deterministic
+        ``(when, seq)`` order), advances the clock *exactly* to its deadline and
+        executes every task due at that instant — tasks observe their own
+        scheduled time.  Returns ``False`` when no live task remains.
+        """
+        self._run_due_tasks()
+        head = self._next_live_task()
+        if head is None:
+            return False
+        self.clock.advance_to(head.when)
+        self._run_due_tasks()
+        return True
+
+    def run_all(self, max_events: int | None = None) -> int:
+        """Step through pending events until the queue is empty.
+
+        Unlike :meth:`drain` — which jumps the clock to the *last* deadline in
+        one coarse advance — ``run_all`` visits each event time in order, which
+        is what gives event-driven agents true asynchronous interleaving.
+        Returns the number of steps taken; ``max_events`` bounds runaway loops.
+        """
+        steps = 0
+        while self.step():
+            steps += 1
+            if max_events is not None and steps >= max_events:
+                raise RuntimeError(
+                    f"run_all exceeded {max_events} events (task storm?)"
+                )
+        return steps
+
+    def _next_live_task(self) -> _ScheduledTask | None:
+        """Peek the earliest non-cancelled task (discarding cancelled heads)."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
 
     def drain(self, extra: float = 0.0) -> None:
         """Run every pending task by advancing time past the last deadline.

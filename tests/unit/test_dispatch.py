@@ -305,3 +305,108 @@ class TestDepSkyDispatchAccounting:
         assert stats.systematic_rate == pytest.approx(0.5)
         merged = stats.merge(stats)
         assert merged.total == 4
+
+
+class TestInstantCoalescer:
+    """Same-instant quorum coalescing (the scale-out batching layer)."""
+
+    def _world(self, seed=5):
+        from repro.clouds.dispatch import InstantCoalescer
+
+        sim = Simulation(seed=seed)
+        clouds = make_cloud_of_clouds(sim)
+
+        def principal(name):
+            return Principal(name=name, canonical_ids=tuple(
+                (c.name, f"{name}@{c.name}") for c in clouds))
+
+        coalescer = InstantCoalescer(sim)
+
+        def client(name="alice"):
+            return DepSkyClient(sim, clouds, principal(name),
+                                charge_latency=False, coalescer=coalescer)
+
+        return sim, clouds, coalescer, client
+
+    def test_same_instant_repeat_is_absorbed(self):
+        sim, clouds, coalescer, client = self._world()
+        client().write("unit", b"payload")
+        sim.advance(60.0)
+        first, second = client(), client()
+        md1, stats1 = first._read_metadata("unit", use_cached=False)
+        md2, stats2 = second._read_metadata("unit", use_cached=False)
+        assert md1.latest().version == md2.latest().version == 1
+        assert stats1.traces and not stats2.traces  # second call hit no wire
+        assert stats2.charged == 0.0 and stats2.reached
+        assert coalescer.hits == 1
+
+    def test_absorbed_copies_are_private(self):
+        sim, clouds, coalescer, client = self._world()
+        client().write("unit", b"payload")
+        sim.advance(60.0)
+        md1, _ = client()._read_metadata("unit", use_cached=False)
+        md1.remove_version(1)  # caller mutates its copy...
+        md2, _ = client()._read_metadata("unit", use_cached=False)
+        assert md2.latest().version == 1  # ...without poisoning the cache
+
+    def test_mutation_invalidates_within_the_instant(self):
+        sim, clouds, coalescer, client = self._world()
+        writer = client()
+        writer.write("unit", b"v1")
+        sim.advance(60.0)
+        reader = client()
+        reader._read_metadata("unit", use_cached=False)
+        generation = coalescer.generation
+        writer.write("unit", b"v2")  # same instant: uncharged client
+        assert coalescer.generation > generation
+        md, stats = client()._read_metadata("unit", use_cached=False)
+        assert stats.traces  # re-dispatched, not served from the stale cache
+
+    def test_cache_never_crosses_principals(self):
+        sim, clouds, coalescer, client = self._world()
+        client("alice").write("unit", b"secret")
+        sim.advance(60.0)
+        client("alice")._read_metadata("unit", use_cached=False)
+        hits = coalescer.hits
+        # Bob lacks any grant on alice's unit: his read must go to the wire
+        # (and fail there), not be served from alice's cached agreement.
+        md, stats = client("bob")._read_metadata("unit", use_cached=False)
+        assert coalescer.hits == hits
+        assert md is None
+
+    def test_clock_movement_expires_the_window(self):
+        sim, clouds, coalescer, client = self._world()
+        client().write("unit", b"payload")
+        sim.advance(60.0)
+        client()._read_metadata("unit", use_cached=False)
+        sim.advance(1e-6)
+        hits = coalescer.hits
+        client()._read_metadata("unit", use_cached=False)
+        assert coalescer.hits == hits
+
+    def test_charged_clients_never_collide(self):
+        # With latency charging on, every quorum call advances the clock, so
+        # back-to-back reads land on different instants: the coalescer is
+        # inert (zero hits) and the agreed values are unchanged.
+        from repro.clouds.dispatch import InstantCoalescer
+
+        sim = Simulation(seed=7)
+        clouds = make_cloud_of_clouds(sim)
+        coalescer = InstantCoalescer(sim)
+        principal = Principal("alice", canonical_ids=tuple(
+            (c.name, f"alice@{c.name}") for c in clouds))
+        client = DepSkyClient(sim, clouds, principal, coalescer=coalescer)
+        client.write("unit", b"payload")
+        sim.advance(60.0)
+        for _ in range(3):
+            result = client.read_latest("unit")
+            assert result.data == b"payload"
+        assert coalescer.hits == 0
+
+    def test_absorbed_stats_shape(self):
+        from repro.clouds.dispatch import InstantCoalescer
+
+        stats = InstantCoalescer.absorbed(required=2)
+        assert stats.reached and stats.charged == 0.0
+        assert stats.preferred_hit and not stats.fallback_dispatched
+        assert stats.successes == [] and stats.winner_clouds == ()

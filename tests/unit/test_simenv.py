@@ -39,10 +39,18 @@ class TestSimClock:
         clock.advance_to(7.0)
         assert clock.now() == 7.0
 
-    def test_advance_to_past_deadline_does_nothing(self):
+    def test_advance_to_past_deadline_raises(self):
         clock = SimClock(10.0)
-        clock.advance_to(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
         assert clock.now() == 10.0
+
+    def test_advance_to_current_time_is_noop(self):
+        clock = SimClock(10.0)
+        seen = []
+        clock.subscribe(lambda old, new: seen.append((old, new)))
+        assert clock.advance_to(10.0) == 10.0
+        assert seen == []
 
     def test_observers_receive_old_and_new_time(self):
         clock = SimClock()
@@ -143,6 +151,89 @@ class TestSimulation:
         sim = Simulation()
         with pytest.raises(ValueError):
             sim.schedule(-1.0, lambda: None)
+
+    def test_run_until_drains_tasks_at_their_own_deadlines(self):
+        # The PR 6 bugfix: run_until used to jump straight to the deadline, so
+        # tasks observed the *deadline* time instead of their scheduled time.
+        sim = Simulation()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.now()))
+        sim.schedule(2.5, lambda: seen.append(sim.now()))
+        sim.run_until(4.0)
+        assert seen == [pytest.approx(1.0), pytest.approx(2.5)]
+        assert sim.now() == pytest.approx(4.0)
+
+    def test_run_until_rejects_past_deadline(self):
+        sim = Simulation()
+        sim.advance(5.0)
+        with pytest.raises(ValueError):
+            sim.run_until(2.0)
+
+    def test_run_until_runs_tasks_scheduled_by_tasks(self):
+        sim = Simulation()
+        seen = []
+
+        def outer():
+            sim.schedule(1.0, lambda: seen.append(sim.now()))
+
+        sim.schedule(1.0, outer)
+        sim.run_until(3.0)
+        assert seen == [pytest.approx(2.0)]
+
+    def test_run_until_leaves_later_tasks_pending(self):
+        sim = Simulation()
+        sim.schedule(10.0, lambda: None)
+        sim.run_until(5.0)
+        assert sim.pending_tasks() == 1
+        assert sim.now() == pytest.approx(5.0)
+
+    def test_step_advances_to_next_event_only(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(3.0, lambda: seen.append("b"))
+        assert sim.step() is True
+        assert seen == ["a"] and sim.now() == pytest.approx(1.0)
+        assert sim.step() is True
+        assert seen == ["a", "b"] and sim.now() == pytest.approx(3.0)
+        assert sim.step() is False
+
+    def test_step_skips_cancelled_heads(self):
+        sim = Simulation()
+        seen = []
+        handle = sim.schedule(1.0, lambda: seen.append("cancelled"))
+        sim.schedule(2.0, lambda: seen.append("live"))
+        handle.cancel()
+        assert sim.step() is True
+        assert seen == ["live"] and sim.now() == pytest.approx(2.0)
+
+    def test_run_all_visits_each_event_time(self):
+        sim = Simulation()
+        seen = []
+        for delay in (3.0, 1.0, 2.0):
+            sim.schedule(delay, lambda: seen.append(sim.now()))
+        steps = sim.run_all()
+        assert steps == 3
+        assert seen == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_run_all_bounds_task_storms(self):
+        sim = Simulation()
+
+        def respawn():
+            sim.schedule(1.0, respawn)
+
+        sim.schedule(1.0, respawn)
+        with pytest.raises(RuntimeError):
+            sim.run_all(max_events=10)
+
+    def test_equal_deadline_tasks_run_in_schedule_order(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(1.0, lambda: order.append("first"))
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.schedule(1.0, lambda: order.append("third"))
+        sim.run_all()
+        assert order == ["first", "second", "third"]
 
     def test_schedule_at_absolute_time_runs_at_or_after_deadline(self):
         sim = Simulation()
