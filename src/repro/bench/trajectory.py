@@ -29,8 +29,11 @@ Environment knobs
 Command line
 ------------
 ``python -m repro.bench.trajectory gate BENCH_scale.json --tol metric=0.5``
-compares the last entry against the previous one: each gated metric may grow
-by at most the given fraction (``0.5`` = +50 %).  Exit status 1 on violation.
+compares the last entry against the previous one: each ``--tol`` metric is
+lower-is-better and may grow by at most the given fraction (``0.5`` = +50 %),
+while each ``--floor`` metric is higher-is-better and may *drop* by at most
+the given fraction (``--floor encode_mbps_4_2=0.2`` fails when throughput
+falls below 80 % of the baseline).  Exit status 1 on violation.
 """
 
 from __future__ import annotations
@@ -115,16 +118,19 @@ def record_bench(name: str, metrics: dict[str, Any], pr: int | None = None,
 
 
 def gate(entries: list[dict[str, Any]],
-         tolerances: dict[str, float]) -> tuple[list[str], list[str]]:
-    """Compare the last entry against the previous one under ``tolerances``.
+         tolerances: dict[str, float],
+         floors: dict[str, float] | None = None) -> tuple[list[str], list[str]]:
+    """Compare the last entry against the previous one under the given bounds.
 
-    ``tolerances`` maps metric name to the maximum allowed fractional growth
-    (``0.5`` allows the metric to rise by 50 %); every gated metric is
-    lower-is-better.  Returns ``(report_lines, violations)`` — an empty
-    violation list means the gate passes.  With fewer than two entries, or
-    when a gated metric is missing from either side, the metric is reported
-    as ungated rather than failed (a new metric needs one PR to seed its
-    baseline).
+    ``tolerances`` maps a lower-is-better metric to its maximum allowed
+    fractional growth (``0.5`` allows the metric to rise by 50 %).
+    ``floors`` maps a higher-is-better metric (e.g. a throughput) to its
+    maximum allowed fractional *drop* (``0.2`` fails when it falls below
+    80 % of the baseline).  Returns ``(report_lines, violations)`` — an
+    empty violation list means the gate passes.  With fewer than two
+    entries, or when a gated metric is missing from either side, the metric
+    is reported as ungated rather than failed (a new metric needs one PR to
+    seed its baseline).
     """
     report: list[str] = []
     violations: list[str] = []
@@ -133,21 +139,34 @@ def gate(entries: list[dict[str, Any]],
         return report, violations
     baseline, current = entries[-2], entries[-1]
     report.append(f"gate: PR {current['pr']} vs baseline PR {baseline['pr']}")
-    for metric, tolerance in sorted(tolerances.items()):
+    bounds = [(metric, tolerance, "ceiling")
+              for metric, tolerance in sorted(tolerances.items())]
+    bounds += [(metric, fraction, "floor")
+               for metric, fraction in sorted((floors or {}).items())]
+    for metric, fraction, kind in bounds:
         before = baseline["metrics"].get(metric)
         after = current["metrics"].get(metric)
         if before is None or after is None:
             report.append(f"  {metric}: missing on one side — ungated "
                           f"(baseline={before!r}, current={after!r})")
             continue
-        limit = before * (1.0 + tolerance)
-        status = "ok" if after <= limit else "REGRESSION"
+        if kind == "ceiling":
+            limit = before * (1.0 + fraction)
+            violated = after > limit
+            bound_text = f"limit {limit:g}, +{fraction:.0%}"
+            fail_text = (f"{metric} regressed: {after:g} > {limit:g} "
+                         f"(baseline {before:g} +{fraction:.0%})")
+        else:
+            limit = before * (1.0 - fraction)
+            violated = after < limit
+            bound_text = f"floor {limit:g}, -{fraction:.0%}"
+            fail_text = (f"{metric} regressed: {after:g} < floor {limit:g} "
+                         f"(baseline {before:g} -{fraction:.0%})")
+        status = "REGRESSION" if violated else "ok"
         report.append(f"  {metric}: {before:g} -> {after:g} "
-                      f"(limit {limit:g}, +{tolerance:.0%}) {status}")
-        if after > limit:
-            violations.append(
-                f"{metric} regressed: {after:g} > {limit:g} "
-                f"(baseline {before:g} +{tolerance:.0%})")
+                      f"({bound_text}) {status}")
+        if violated:
+            violations.append(fail_text)
     return report, violations
 
 
@@ -170,7 +189,13 @@ def main(argv: list[str] | None = None) -> int:
     gate_parser.add_argument(
         "--tol", action="append", type=_parse_tolerance, default=[],
         metavar="METRIC=FRACTION",
-        help="gate METRIC to at most +FRACTION growth over the baseline")
+        help="gate lower-is-better METRIC to at most +FRACTION growth "
+             "over the baseline")
+    gate_parser.add_argument(
+        "--floor", action="append", type=_parse_tolerance, default=[],
+        metavar="METRIC=FRACTION",
+        help="gate higher-is-better METRIC to at most -FRACTION drop "
+             "below the baseline")
     show_parser = sub.add_parser("show", help="print one trajectory")
     show_parser.add_argument("file", type=Path)
     args = parser.parse_args(argv)
@@ -181,7 +206,7 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(entries, sys.stdout, indent=2, sort_keys=True)
         print()
         return 0
-    report, violations = gate(entries, dict(args.tol))
+    report, violations = gate(entries, dict(args.tol), dict(args.floor))
     print("\n".join(report))
     if violations:
         print("\n".join(f"FAIL: {v}" for v in violations), file=sys.stderr)

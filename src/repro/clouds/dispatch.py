@@ -75,11 +75,19 @@ class QuorumRequest:
     quorum.  ``latency`` samples the wall time of one attempt given the value
     ``send`` returned (``None`` for a failed attempt, whose latency typically
     has no payload term).
+
+    ``prepare``, when set, is invoked exactly once per request, at the moment
+    the engine dispatches it — before the first ``send`` attempt.  It lets a
+    caller defer expensive payload materialisation (e.g. assembling a block
+    blob from the streaming encoder's buffers) to dispatch time: requests of
+    a fallback stage that is never dispatched never pay the cost, and unlike
+    work hidden inside ``send`` it is not repeated on retries.
     """
 
     cloud: str
     send: Callable[[], Any]
     latency: Callable[[Any | None], float]
+    prepare: Callable[[], None] | None = None
     #: True for requests with server-side effects (PUT/DELETE/ACL).  Health
     #: planning never *skips* a mutating request of a suspected cloud — it is
     #: dispatched in the background instead, so a version written during a
@@ -231,6 +239,8 @@ class QuorumCall:
         status = RequestStatus.FAILED
         value: Any = None
         benign = False
+        if request.prepare is not None:
+            request.prepare()
         while attempts <= policy.retries:
             attempts += 1
             try:

@@ -54,7 +54,12 @@ class _StoredObject:
     acl: ObjectACL
     created_at: float
     visible_at: float
-    digest: str
+    #: Hex digest of the payload as *sent* by the writer.  ``None`` defers the
+    #: sha256 until :meth:`digest_value` is first asked for it (``put`` on the
+    #: fault-free path stores the bytes unmodified, so hashing them up front
+    #: would charge every block put a full-payload pass for a value that only
+    #: ``head`` ever reports).
+    digest: str | None
     previous: "_StoredObject | None" = None
     #: Start of the not-yet-settled storage-accounting span.  Defaults to the
     #: creation clock — a ``0.0`` default would let byte-seconds accounting
@@ -64,6 +69,14 @@ class _StoredObject:
     def __post_init__(self) -> None:
         if self.stored_since is None:
             self.stored_since = self.created_at
+
+    def digest_value(self) -> str:
+        """The as-put digest, computed on first use (valid only because the
+        fault-free ``put`` stores the sent bytes unmodified; fault paths that
+        substitute the stored bytes compute the digest eagerly)."""
+        if self.digest is None:
+            self.digest = content_digest(self.data)
+        return self.digest
 
     def visible_version(self, now: float) -> "_StoredObject | None":
         """Return the newest version of this key already visible at ``now``."""
@@ -203,7 +216,10 @@ class EventuallyConsistentStore(ObjectStore):
             stored_data = current.data if current is not None else b""
         if self.failures.is_active(FaultKind.CORRUPTION, now):
             stored_data = self._maybe_corrupt(stored_data)
-        digest = content_digest(data)
+        # Fault-free puts store the sent bytes unmodified, so the as-put
+        # digest can be derived lazily from them (see ``_StoredObject``);
+        # fault paths that substitute the stored bytes must hash eagerly.
+        digest = None if stored_data is data else content_digest(data)
         obj = _StoredObject(
             key=key,
             data=stored_data,
@@ -215,7 +231,12 @@ class EventuallyConsistentStore(ObjectStore):
             stored_since=now,
         )
         self._objects[key] = obj
-        return ObjectVersion(key=key, size=len(data), created_at=now, digest=digest)
+        # The returned version reports the digest only when it is already
+        # known; ``head`` is the API that guarantees one (no current caller
+        # consumes put's return value, and hashing every put eagerly would
+        # serialise a full-payload sha256 into the write hot path).
+        return ObjectVersion(key=key, size=len(data), created_at=now,
+                             digest=digest or "")
 
     def get(self, key: str, principal: Principal) -> bytes:
         self._fail_if_unavailable()
@@ -241,7 +262,8 @@ class EventuallyConsistentStore(ObjectStore):
             raise ObjectNotFoundError(f"{self.name}: no visible object under key {key!r}")
         self._check_access(visible, key, principal, Permission.READ)
         return ObjectVersion(
-            key=key, size=len(visible.data), created_at=visible.created_at, digest=visible.digest
+            key=key, size=len(visible.data), created_at=visible.created_at,
+            digest=visible.digest_value(),
         )
 
     def delete(self, key: str, principal: Principal) -> None:

@@ -14,8 +14,21 @@ Decoding from any ``k`` available blocks inverts the corresponding rows.
 Fast paths
 ----------
 * **Systematic encode** — the first ``k`` coded blocks are literal slices of
-  the framed payload, so :meth:`ErasureCoder.encode` multiplies only the
-  ``n - k`` parity rows (roughly halving the work at the paper's ``(4, 2)``).
+  the framed payload, so encoding multiplies only the ``n - k`` parity rows
+  (roughly halving the work at the paper's ``(4, 2)``).
+* **Streaming zero-copy encode** — :meth:`ErasureCoder.frame_into` lays the
+  frame header out in a caller-owned ``(n, block_len)`` buffer and exposes
+  the payload region as a writable view (so the cipher can place ciphertext
+  directly where the systematic blocks live, with no intermediate copy), and
+  :meth:`ErasureCoder.encode_stripes` walks that buffer in column stripes,
+  computing the parity rows of each stripe in place via ``gf256.matmul``'s
+  ``out=`` path.  Stripes are column ranges of the ``(k, block_len)`` data
+  matrix, so stripewise parity is byte-identical to whole-block parity while
+  each stripe's bytes are still cache-hot for the consumer (the DepSky write
+  pipeline feeds them straight into incremental digests).
+  :meth:`ErasureCoder.stream` and :meth:`ErasureCoder.encode_into` wrap this
+  for plain ``bytes`` payloads; :meth:`ErasureCoder.encode` keeps the
+  list-of-:class:`CodedBlock` API on top.
 * **Systematic decode** — when the ``k`` chosen blocks are exactly the
   systematic ones, decoding is a pure byte concatenation with no field
   arithmetic at all.  DepSky's preferred-quorum reads hit this path whenever
@@ -23,14 +36,16 @@ Fast paths
 * **Decode-matrix cache** — inverted submatrices are cached per
   surviving-block index tuple, so repeated reads under the same failure
   pattern skip the Gauss–Jordan inversion entirely.
-* **Chunked encode/decode** — the underlying ``gf256.matmul`` slices long
-  blocks internally, so multi-hundred-MB payloads never materialise a
-  proportional temporary gather tensor.
+* **Chunked encode/decode** — the underlying ``gf256.matmul`` picks its
+  kernel per stripe (the nibble-split pair-table path for the wide stripes
+  used here) and bounds its own temporaries, so multi-hundred-MB payloads
+  never materialise a proportional gather tensor.
 """
 
 from __future__ import annotations
 
 import struct
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,6 +58,13 @@ from repro.crypto import gf256
 _HEADER = struct.Struct(">HQ")
 _MAGIC = 0x5343  # "SC"
 
+#: Default column-stripe width (bytes per block row) for the streaming
+#: encode.  Wide enough that every stripe takes gf256's nibble-split kernel
+#: (>= its 32 KiB threshold) and the per-stripe Python overhead vanishes,
+#: small enough that one stripe across all ``n`` rows stays cache-resident
+#: for the digest/assembly consumers downstream.
+DEFAULT_STRIPE_BYTES = 1 << 17
+
 
 @dataclass(frozen=True)
 class CodedBlock:
@@ -50,6 +72,21 @@ class CodedBlock:
 
     index: int
     payload: bytes
+
+
+@dataclass(frozen=True)
+class StripeView:
+    """One encoded column stripe: ``blocks[:, start:stop]`` of the buffer.
+
+    ``blocks`` is an ``(n, stop - start)`` uint8 view — rows ``0..k-1`` are
+    the framed payload columns, rows ``k..n-1`` the freshly computed parity.
+    Views alias the encode buffer; consume them before the next stripe if the
+    buffer is reused.
+    """
+
+    start: int
+    stop: int
+    blocks: np.ndarray
 
 
 class ErasureCoder:
@@ -88,22 +125,100 @@ class ErasureCoder:
 
     def encode(self, data: bytes) -> list[CodedBlock]:
         """Split ``data`` into ``n`` coded blocks, any ``k`` of which rebuild it."""
-        framed = _HEADER.pack(_MAGIC, len(data)) + data
-        block_len = (len(framed) + self.k - 1) // self.k
-        padded = framed.ljust(block_len * self.k, b"\x00")
-        # Systematic fast path: blocks 0..k-1 are plain slices of the payload.
-        coded = [
-            CodedBlock(index=i, payload=padded[i * block_len:(i + 1) * block_len])
-            for i in range(self.k)
-        ]
-        if self.n > self.k:
-            blocks = np.frombuffer(padded, dtype=np.uint8).reshape(self.k, block_len)
-            parity = gf256.matmul(self._parity_matrix, blocks)
-            coded.extend(
-                CodedBlock(index=self.k + i, payload=parity[i].tobytes())
-                for i in range(self.n - self.k)
-            )
-        return coded
+        buffer = self.encode_into(data)
+        return [CodedBlock(index=i, payload=buffer[i].tobytes())
+                for i in range(self.n)]
+
+    def frame_into(self, data_len: int,
+                   out: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Lay out the encode buffer for a ``data_len``-byte payload.
+
+        Returns ``(buffer, payload_view)``: ``buffer`` is an
+        ``(n, block_len)`` uint8 array (``out`` when given, freshly
+        zero-allocated otherwise) whose first ``k`` rows will hold the framed
+        payload, and ``payload_view`` is the flat writable view of the
+        ``data_len`` payload bytes inside it.  The frame header is written
+        and the padding tail zeroed; the caller fills ``payload_view`` (e.g.
+        the cipher encrypts straight into it) and then runs
+        :meth:`encode_stripes` over the buffer.
+        """
+        block_len = self.block_size(data_len)
+        if out is None:
+            buffer = np.zeros((self.n, block_len), dtype=np.uint8)
+        else:
+            if (out.shape != (self.n, block_len) or out.dtype != np.uint8
+                    or not out.flags.c_contiguous):
+                raise ValueError(
+                    f"out must be a C-contiguous uint8 array of shape "
+                    f"{(self.n, block_len)}")
+            buffer = out
+        flat = buffer[:self.k].reshape(-1)
+        header = np.frombuffer(_HEADER.pack(_MAGIC, data_len), dtype=np.uint8)
+        flat[:_HEADER.size] = header
+        if out is not None and _HEADER.size + data_len < flat.shape[0]:
+            flat[_HEADER.size + data_len:] = 0  # zero the padding tail
+        payload_view = flat[_HEADER.size:_HEADER.size + data_len]
+        return buffer, payload_view
+
+    def encode_stripes(self, buffer: np.ndarray,
+                       stripe_bytes: int = DEFAULT_STRIPE_BYTES,
+                       ) -> Iterator[StripeView]:
+        """Encode the parity rows of a framed ``(n, block_len)`` buffer in place.
+
+        Walks the buffer in column stripes of ``stripe_bytes`` per row,
+        multiplying the parity matrix into rows ``k..n-1`` of each stripe via
+        ``gf256.matmul(..., out=...)`` and yielding the finished
+        :class:`StripeView` — data and parity columns together — so the
+        caller can digest or ship each stripe while it is still cache-hot and
+        while later stripes have not been computed yet.  Stripes are column
+        ranges of the data matrix, so the resulting bytes are identical to a
+        single whole-buffer encode.
+        """
+        if buffer.shape[0] != self.n or buffer.dtype != np.uint8:
+            raise ValueError(f"buffer must be uint8 with {self.n} rows")
+        if stripe_bytes <= 0:
+            raise ValueError("stripe_bytes must be positive")
+        block_len = buffer.shape[1]
+        data_rows = buffer[:self.k]
+        parity_rows = buffer[self.k:] if self.n > self.k else None
+        for start in range(0, block_len, stripe_bytes):
+            stop = min(start + stripe_bytes, block_len)
+            if parity_rows is not None:
+                gf256.matmul(self._parity_matrix, data_rows[:, start:stop],
+                             out=parity_rows[:, start:stop])
+            yield StripeView(start=start, stop=stop,
+                             blocks=buffer[:, start:stop])
+        if block_len == 0:
+            yield StripeView(start=0, stop=0, blocks=buffer)
+
+    def stream(self, data: bytes,
+               out: np.ndarray | None = None,
+               stripe_bytes: int = DEFAULT_STRIPE_BYTES) -> Iterator[StripeView]:
+        """Stream-encode ``data``: yield each column stripe as it is coded.
+
+        Frames ``data`` into ``out`` (or a fresh buffer), then drives
+        :meth:`encode_stripes`.  Equivalent to :meth:`encode_into` but hands
+        the caller every stripe while later stripes are still pending.
+        """
+        buffer, payload_view = self.frame_into(len(data), out)
+        payload_view[:] = np.frombuffer(data, dtype=np.uint8)
+        yield from self.encode_stripes(buffer, stripe_bytes)
+
+    def encode_into(self, data: bytes,
+                    out: np.ndarray | None = None,
+                    stripe_bytes: int = DEFAULT_STRIPE_BYTES) -> np.ndarray:
+        """Encode ``data`` into an ``(n, block_len)`` buffer and return it.
+
+        Row ``i`` of the result is coded block ``i`` (the first ``k`` rows
+        are the framed systematic payload, the rest parity) — the zero-copy
+        equivalent of :meth:`encode` for callers that can consume array rows
+        instead of ``bytes``.
+        """
+        buffer, payload_view = self.frame_into(len(data), out)
+        payload_view[:] = np.frombuffer(data, dtype=np.uint8)
+        for _ in self.encode_stripes(buffer, stripe_bytes):
+            pass
+        return buffer
 
     def decode(self, blocks: list[CodedBlock]) -> bytes:
         """Rebuild the original data from any ``k`` distinct coded blocks."""
@@ -119,22 +234,26 @@ class ErasureCoder:
         lengths = {len(b.payload) for b in chosen}
         if len(lengths) != 1:
             raise ValueError("coded blocks have inconsistent lengths")
-        block_len = lengths.pop()
         indices = tuple(b.index for b in chosen)
         if indices == tuple(range(self.k)):
             # Systematic fast path: the data blocks survived, no arithmetic.
             framed = b"".join(b.payload for b in chosen)
+            magic, length = _HEADER.unpack_from(framed)
+            payload = framed[_HEADER.size:_HEADER.size + length]
         else:
             inverse = self._decode_matrix(indices)
             stacked = np.stack(
                 [np.frombuffer(b.payload, dtype=np.uint8) for b in chosen]
             )
             data_blocks = gf256.matmul(inverse, stacked)
-            framed = data_blocks.reshape(-1).tobytes()[: self.k * block_len]
-        magic, length = _HEADER.unpack_from(framed)
+            flat = data_blocks.reshape(-1)
+            # Parse the header straight off the array and slice the payload
+            # *before* materialising bytes — only the payload is copied, not
+            # the padded frame.
+            magic, length = _HEADER.unpack_from(flat)
+            payload = flat[_HEADER.size:_HEADER.size + length].tobytes()
         if magic != _MAGIC:
             raise ValueError("decoded data has an invalid header (wrong blocks?)")
-        payload = framed[_HEADER.size : _HEADER.size + length]
         if len(payload) != length:
             raise ValueError("decoded data is truncated")
         return payload

@@ -8,34 +8,50 @@ Vectorisation strategy
 ----------------------
 Every SCFS write erasure-codes its payload, so :func:`matmul` is the single
 hottest function in the system.  It is implemented without any Python-level
-inner loop:
+inner loop, with **three** kernel strategies chosen by a size heuristic:
 
-* ``MUL_TABLE`` is the full precomputed 256×256 product table, so multiplying
-  a coefficient matrix ``(r, k)`` by data blocks ``(k, L)`` is pure
-  fancy-indexed gathering: for the tiny matrices DepSky uses, one whole-block
-  row gather ``MUL_TABLE[coeff][block]`` per non-zero coefficient,
-  XOR-accumulated (XOR is addition in GF(2^8)); for larger matrices, a single
-  gather ``MUL_TABLE[matrix[:, :, None], blocks[None, :, :]]`` producing the
+* **Row gather** (small matrices, short blocks): one whole-block row gather
+  ``MUL_TABLE[coeff][block]`` per non-zero coefficient, XOR-accumulated (XOR
+  is addition in GF(2^8)).  ``MUL_TABLE`` is the full precomputed 256×256
+  product table; a row of it is 256 bytes and stays L1-resident across the
+  gather.  This path has the lowest fixed overhead and wins whenever the
+  per-coefficient table setup of the nibble-split path cannot amortise.
+* **Nibble split** (long blocks — the erasure-encode hot path): every field
+  product decomposes over the two nibbles of the input byte,
+  ``c·b = c·(b & 0x0F) ⊕ c·(b >> 4 << 4)``, so per coefficient only the two
+  16-entry columns of :data:`NIBBLE_TABLE` (a precomputed ``(256, 2, 16)``
+  tensor that stays L1-resident) are needed.  The kernel expands them once
+  per coefficient — an outer XOR of the low/high nibble products — into a
+  65536-entry ``uint16`` *pair table* mapping two adjacent input bytes to
+  their two product bytes, then gathers two bytes per ``take`` on ``uint16``
+  views of the row buffers and XOR-accumulates on ``uint64`` views (falling
+  back to byte-wise XOR for tails and unaligned rows).  Halving the gather
+  count is what breaks the one-gather-per-coefficient ceiling of the row
+  path: the pair tables cost ~15 µs each to build and are cached (bounded by
+  :data:`_PAIR_CACHE_MAX`), so throughput roughly doubles at ≥64 KiB blocks.
+* **3-D gather** (large matrices, short blocks): a single gather
+  ``MUL_TABLE[matrix[:, :, None], blocks[None, :, :]]`` producing the
   ``(r, k, L)`` tensor of partial products, reduced along the shared ``k``
-  axis with ``np.bitwise_xor.reduce``.
-* The 3-D gather materialises ``r * k * L`` bytes, so long blocks are
-  processed in slices of at most :data:`_MAX_GATHER_BYTES` of temporary
-  memory; callers can hand :func:`matmul` arbitrarily large payloads without
-  a proportional allocation spike.
-* :func:`matmul_matrix` and :func:`invert_matrix` (Gauss–Jordan with
-  whole-matrix row elimination per pivot) use the same gather idiom; the
-  erasure layer additionally caches inversion results per surviving-block
-  pattern (see ``repro.crypto.erasure.ErasureCoder``).
+  axis with ``np.bitwise_xor.reduce``.  The tensor materialises ``r * k * L``
+  bytes, so long blocks are processed in slices of at most
+  :data:`_MAX_GATHER_BYTES` of temporary memory.
+
+:func:`matmul` and :func:`mul_block` accept an ``out=`` destination so
+callers on the streaming write pipeline can reuse buffers; aliasing the
+output with an input is rejected loudly (``ValueError``) because the kernels
+accumulate in place.
+
+:func:`matmul_matrix` and :func:`invert_matrix` (Gauss–Jordan with
+whole-matrix row elimination per pivot) use the plain gather idiom; the
+erasure layer additionally caches inversion results per surviving-block
+pattern (see ``repro.crypto.erasure.ErasureCoder``).
 
 A deliberately scalar reference implementation — a triple-nested Python loop
 over per-element table lookups, :func:`_matmul_scalar` — exists purely so
-property tests can cross-check the vectorised path byte-for-byte and so the
-throughput benchmark (``benchmarks/bench_coding_throughput.py``) can assert
-the vectorised path stays orders of magnitude ahead of per-element Python.
-(The pre-vectorisation ``matmul`` was already accumulating per-coefficient
-row gathers; the wins of this layer over it are the parity-only systematic
-encode, the concatenation decode, the cached decode matrices and the bounded
-chunking, not the kernel alone.)
+property tests can cross-check every vectorised path byte-for-byte and so
+the throughput benchmark (``benchmarks/bench_coding_throughput.py``) can
+assert the vectorised paths stay orders of magnitude ahead of per-element
+Python.
 
 :func:`invert_matrix` raises
 :class:`~repro.common.errors.SingularMatrixError` (a ``ValueError``
@@ -87,6 +103,48 @@ def _build_tables() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
 
 _EXP, _LOG, MUL_TABLE = _build_tables()
 
+#: Nibble product tensor ``(256, 2, 16)``: ``NIBBLE_TABLE[c, 0, v] = c·v``
+#: and ``NIBBLE_TABLE[c, 1, v] = c·(v << 4)``.  The 32 bytes per coefficient
+#: stay L1-resident; the nibble-split kernel expands them into per-coefficient
+#: pair tables (see :func:`_pair_table`).
+NIBBLE_TABLE = np.stack(
+    [MUL_TABLE[:, :16], MUL_TABLE[:, [v << 4 for v in range(16)]]], axis=1
+)
+
+_LOW_NIBBLE = np.arange(256) & 0x0F
+_HIGH_NIBBLE = np.arange(256) >> 4
+
+#: Bound on cached per-coefficient pair tables (128 KiB each); DepSky's
+#: encode matrices use far fewer distinct coefficients than this, so in
+#: practice every coefficient of a coder's parity matrix stays cached.
+_PAIR_CACHE_MAX = 64
+
+_pair_cache: dict[int, np.ndarray] = {}
+
+
+def _pair_table(coeff: int) -> np.ndarray:
+    """The 65536-entry ``uint16`` pair-product table for one coefficient.
+
+    Index a table entry by the native-endian ``uint16`` word of two adjacent
+    input bytes and it holds the ``uint16`` word of their two product bytes —
+    the construction composes with byte order symmetrically, so the same
+    layout is correct on little- and big-endian hosts.  Built from the two
+    16-entry nibble columns by an outer XOR (every byte product is
+    ``low[b & 0x0F] ^ high[b >> 4]``); cached because one build costs ~15 µs
+    while the erasure coder reuses the same few coefficients every call.
+    """
+    table = _pair_cache.get(coeff)
+    if table is None:
+        low = NIBBLE_TABLE[coeff, 0].astype(np.uint16)
+        high = NIBBLE_TABLE[coeff, 1].astype(np.uint16)
+        byte_products = low[_LOW_NIBBLE] ^ high[_HIGH_NIBBLE]  # (256,) uint16
+        table = ((byte_products[:, None] << np.uint16(8)) | byte_products[None, :])
+        table = np.ascontiguousarray(table.reshape(-1))
+        if len(_pair_cache) >= _PAIR_CACHE_MAX:
+            _pair_cache.pop(next(iter(_pair_cache)))
+        _pair_cache[coeff] = table
+    return table
+
 
 def gf_mul(a: int, b: int) -> int:
     """Multiply two field elements."""
@@ -125,8 +183,25 @@ def gf_add(a: int, b: int) -> int:
     return a ^ b
 
 
-def mul_block(scalar: int, block: np.ndarray) -> np.ndarray:
-    """Multiply every byte of ``block`` by the field ``scalar`` (vectorised)."""
+def mul_block(scalar: int, block: np.ndarray,
+              out: np.ndarray | None = None) -> np.ndarray:
+    """Multiply every byte of ``block`` by the field ``scalar`` (vectorised).
+
+    With ``out=`` the product is written into the caller's buffer (same shape
+    and dtype as ``block``); aliasing ``out`` with ``block`` is rejected.
+    """
+    if out is not None:
+        if out.shape != block.shape or out.dtype != np.uint8:
+            raise ValueError("out must be a uint8 array of the block's shape")
+        if np.shares_memory(out, block):
+            raise ValueError("mul_block out= must not alias the input block")
+        if scalar == 0:
+            out.fill(0)
+        elif scalar == 1:
+            out[...] = block
+        else:
+            out[...] = MUL_TABLE[scalar][block]
+        return out
     if scalar == 0:
         return np.zeros_like(block)
     if scalar == 1:
@@ -139,32 +214,70 @@ def mul_block(scalar: int, block: np.ndarray) -> np.ndarray:
 #: the 3-D gather pays for materialising and re-reading the (r, k, L) tensor.
 _DENSE_GATHER_MIN_ENTRIES = 64
 
+#: At and above this block length the nibble-split pair-table kernel wins:
+#: its per-coefficient setup (two 16-entry columns expanded into a 128 KiB
+#: pair table, ~15 µs, cached) amortises and its two-bytes-per-gather main
+#: loop runs ~2x faster than one-gather-per-byte row gathers.
+_NIBBLE_MIN_BYTES = 1 << 15
 
-def matmul(matrix: np.ndarray, blocks: np.ndarray) -> np.ndarray:
+
+def _check_out(out: np.ndarray, rows: int, length: int,
+               matrix: np.ndarray, blocks: np.ndarray) -> np.ndarray:
+    """Validate a caller-supplied ``out=`` buffer (shape, dtype, aliasing)."""
+    if out.shape != (rows, length) or out.dtype != np.uint8:
+        raise ValueError(
+            f"out must be a uint8 array of shape {(rows, length)}, "
+            f"got {out.dtype} {out.shape}")
+    if np.shares_memory(out, blocks) or np.shares_memory(out, matrix):
+        raise ValueError("matmul out= must not alias the inputs "
+                         "(the kernels accumulate in place)")
+    return out
+
+
+def matmul(matrix: np.ndarray, blocks: np.ndarray,
+           out: np.ndarray | None = None) -> np.ndarray:
     """Multiply an ``(r, k)`` GF(256) matrix by ``k`` data blocks.
 
     ``blocks`` has shape ``(k, block_len)`` with dtype ``uint8``; the result
-    has shape ``(r, block_len)``.  Used by the erasure coder for both encoding
-    and decoding.  Two fully vectorised strategies, chosen by matrix size:
+    has shape ``(r, block_len)``.  Used by the erasure coder for both
+    encoding and decoding.  Three fully vectorised strategies, chosen by
+    matrix size and block length (see the module docstring): per-coefficient
+    row gathers for small matrices on short blocks, the nibble-split
+    pair-table kernel for long blocks, and the chunked 3-D gather for large
+    matrices on short blocks.
 
-    * small matrices (DepSky's ``(n, k)`` always land here) accumulate one
-      fancy-indexed ``MUL_TABLE`` row gather per non-zero coefficient —
-      ``r * k`` whole-block numpy ops with no per-element Python work;
-    * larger matrices use a single 3-D gather
-      ``MUL_TABLE[matrix[:, :, None], blocks[None, :, :]]`` reduced along the
-      shared axis with ``np.bitwise_xor.reduce``, sliced so the temporary
-      tensor stays under :data:`_MAX_GATHER_BYTES`.
+    ``out=`` writes the result into a caller-owned ``(r, block_len)`` uint8
+    array (its prior contents are discarded); rows of ``out`` may be strided
+    views into a larger buffer as long as each row is contiguous.  Aliasing
+    ``out`` with an input raises ``ValueError``.
     """
     rows, cols = matrix.shape
     if blocks.shape[0] != cols:
         raise ValueError(f"matrix expects {cols} input blocks, got {blocks.shape[0]}")
     length = blocks.shape[1]
     if rows == 0 or cols == 0 or length == 0:
+        if out is not None:
+            _check_out(out, rows, length, matrix, blocks).fill(0)
+            return out
         return np.zeros((rows, length), dtype=np.uint8)
     matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
-    blocks = np.ascontiguousarray(blocks, dtype=np.uint8)
+    if blocks.dtype != np.uint8 or blocks.strides[-1] != 1:
+        # Rows must be contiguous byte runs; the 2-D array itself may be a
+        # strided (column-sliced) view, which the stripe encoder relies on.
+        blocks = np.ascontiguousarray(blocks, dtype=np.uint8)
+    if out is not None:
+        _check_out(out, rows, length, matrix, blocks)
+    if length >= _NIBBLE_MIN_BYTES:
+        if out is None:
+            out = np.zeros((rows, length), dtype=np.uint8)
+        else:
+            out.fill(0)
+        return _matmul_nibble(matrix, blocks, out)
     if rows * cols <= _DENSE_GATHER_MIN_ENTRIES:
-        out = np.zeros((rows, length), dtype=np.uint8)
+        if out is None:
+            out = np.zeros((rows, length), dtype=np.uint8)
+        else:
+            out.fill(0)
         for i in range(rows):
             for j in range(cols):
                 coeff = int(matrix[i, j])
@@ -175,7 +288,8 @@ def matmul(matrix: np.ndarray, blocks: np.ndarray) -> np.ndarray:
                 else:
                     out[i] ^= MUL_TABLE[coeff][blocks[j]]
         return out
-    out = np.empty((rows, length), dtype=np.uint8)
+    if out is None:
+        out = np.empty((rows, length), dtype=np.uint8)
     chunk = max(1, _MAX_GATHER_BYTES // (rows * cols))
     expanded = matrix[:, :, None]
     for start in range(0, length, chunk):
@@ -185,13 +299,74 @@ def matmul(matrix: np.ndarray, blocks: np.ndarray) -> np.ndarray:
     return out
 
 
+def _xor_accumulate(dst: np.ndarray, src: np.ndarray) -> None:
+    """``dst ^= src`` with the XOR run on ``uint64`` views where possible.
+
+    ``dst`` is a contiguous uint8 row slice of even length, ``src`` the
+    freshly gathered contiguous ``uint16`` products covering it.  Rows views
+    carved out of a larger buffer may be unaligned or of length not divisible
+    by 8, in which case the accumulation falls back to ``uint16``/``uint8``
+    lanes — numpy handles unaligned views, just without the widest stride.
+    """
+    n = dst.shape[0]
+    if n % 8 == 0:
+        try:
+            d64 = dst.view(np.uint64)
+        except ValueError:  # non-contiguous destination row
+            dst ^= src.view(np.uint8)
+            return
+        np.bitwise_xor(d64, src.view(np.uint64), out=d64)
+    else:
+        try:
+            d16 = dst.view(np.uint16)
+        except ValueError:
+            dst ^= src.view(np.uint8)
+            return
+        np.bitwise_xor(d16, src, out=d16)
+
+
+def _matmul_nibble(matrix: np.ndarray, blocks: np.ndarray,
+                   out: np.ndarray) -> np.ndarray:
+    """Nibble-split pair-table kernel; accumulates into the zeroed ``out``.
+
+    Gathers two input bytes per ``take`` through the per-coefficient pair
+    table derived from :data:`NIBBLE_TABLE` and XOR-accumulates the product
+    words on wide views of the output rows.  An odd trailing byte is folded
+    in through the plain ``MUL_TABLE`` row.
+    """
+    rows, cols = matrix.shape
+    length = blocks.shape[1]
+    even = length & ~1
+    words = []
+    for j in range(cols):
+        row = blocks[j, :even]
+        try:
+            words.append(row.view(np.uint16))
+        except ValueError:  # non-contiguous row — copy once, not per coeff
+            words.append(np.ascontiguousarray(row).view(np.uint16))
+    for i in range(rows):
+        dst = out[i, :even]
+        for j in range(cols):
+            coeff = int(matrix[i, j])
+            if coeff == 0:
+                continue
+            if coeff == 1:
+                out[i] ^= blocks[j]
+                continue
+            products = _pair_table(coeff).take(words[j])
+            _xor_accumulate(dst, products)
+            if even != length:
+                out[i, -1] ^= MUL_TABLE[coeff, blocks[j, -1]]
+    return out
+
+
 def _matmul_scalar(matrix: np.ndarray, blocks: np.ndarray) -> np.ndarray:
     """Scalar reference implementation of :func:`matmul`.
 
     Triple-nested Python loops over per-element table lookups.  This exists
-    only so property tests can cross-check the vectorised path byte-for-byte
-    and so the coding-throughput benchmark has a per-element-Python baseline
-    to gate against; never call it on a hot path.
+    only so property tests can cross-check the vectorised paths
+    byte-for-byte and so the coding-throughput benchmark has a
+    per-element-Python baseline to gate against; never call it on a hot path.
     """
     rows, cols = matrix.shape
     if blocks.shape[0] != cols:
@@ -263,10 +438,14 @@ def vandermonde(rows: int, cols: int) -> np.ndarray:
 
     Using ``i + 1`` (instead of ``i``) keeps every row non-zero so any square
     submatrix obtained after systematisation stays invertible for the small
-    ``(n, k)`` configurations DepSky uses.
+    ``(n, k)`` configurations DepSky uses.  Built in one shot from the
+    exp/log tables: entry ``(r, c)`` is ``(r+1)^c = exp((log(r+1) · c) mod
+    255)`` — no non-zero base occurs because ``r + 1 >= 1``.
     """
-    matrix = np.zeros((rows, cols), dtype=np.uint8)
-    for r in range(rows):
-        for c in range(cols):
-            matrix[r, c] = gf_pow(r + 1, c)
+    if rows == 0 or cols == 0:
+        return np.zeros((rows, cols), dtype=np.uint8)
+    logs = _LOG[np.arange(1, rows + 1)].astype(np.int64)
+    exponents = (logs[:, None] * np.arange(cols, dtype=np.int64)[None, :]) % 255
+    matrix = _EXP[exponents].astype(np.uint8)
+    matrix[:, 0] = 1  # x^0 == 1 for every base
     return matrix

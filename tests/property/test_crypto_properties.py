@@ -9,6 +9,7 @@ authenticated-encryption round trips.
 import random
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.crypto import erasure, gf256
@@ -109,6 +110,82 @@ class TestVectorizedAgainstScalarReference:
         coder = ErasureCoder(n, k)
         payloads = [b.payload for b in coder.encode(data)]
         assert payloads == _reference_encode(coder, data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=8),
+        cols=st.integers(min_value=1, max_value=8),
+        # Lengths straddle every alignment case of the nibble kernel: empty,
+        # odd (scalar tail byte), non-multiples of 8 (uint16 accumulation
+        # lanes), and multiples of 8 (uint64 lanes).
+        length=st.one_of(st.sampled_from([0, 1, 2, 7, 8, 9, 15, 16, 17]),
+                         st.integers(min_value=0, max_value=500)),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        sprinkle_edge_coeffs=st.booleans(),
+    )
+    def test_nibble_kernel_agrees_with_scalar_reference(
+            self, rows, cols, length, seed, sprinkle_edge_coeffs):
+        # The production heuristic only routes blocks >= 32 KiB through the
+        # nibble-split kernel; dropping the threshold to 1 byte lets
+        # hypothesis drive the same kernel over small shapes cheaply.
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 256, size=(rows, cols), dtype=np.uint8)
+        if sprinkle_edge_coeffs:
+            # Zero and one coefficients take dedicated skip/XOR-copy paths.
+            mask = rng.integers(0, 3, size=(rows, cols))
+            matrix[mask == 0] = 0
+            matrix[mask == 1] = 1
+        blocks = rng.integers(0, 256, size=(cols, length), dtype=np.uint8)
+        expected = gf256._matmul_scalar(matrix, blocks)
+        saved = gf256._NIBBLE_MIN_BYTES
+        gf256._NIBBLE_MIN_BYTES = 1
+        try:
+            assert np.array_equal(gf256.matmul(matrix, blocks), expected)
+            out = np.full((rows, length), 0xCD, dtype=np.uint8)
+            assert np.array_equal(gf256.matmul(matrix, blocks, out=out),
+                                  expected)
+            # Strided views (the stripe encoder's shape): rows stay
+            # contiguous, the 2-D arrays do not.
+            backing_in = np.zeros((cols, length + 32), dtype=np.uint8)
+            backing_in[:, 16:16 + length] = blocks
+            backing_out = np.zeros((rows, length + 32), dtype=np.uint8)
+            strided_out = backing_out[:, 16:16 + length]
+            gf256.matmul(matrix, backing_in[:, 16:16 + length],
+                         out=strided_out)
+            assert np.array_equal(strided_out, expected)
+        finally:
+            gf256._NIBBLE_MIN_BYTES = saved
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        length=st.integers(min_value=0, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_out_aliasing_an_input_is_rejected_loudly(self, length, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 256, size=(2, 2), dtype=np.uint8)
+        blocks = rng.integers(0, 256, size=(2, length), dtype=np.uint8)
+        saved = gf256._NIBBLE_MIN_BYTES
+        gf256._NIBBLE_MIN_BYTES = 1
+        try:
+            if length:  # zero-length arrays share no memory
+                with pytest.raises(ValueError, match="alias"):
+                    gf256.matmul(matrix, blocks, out=blocks)
+        finally:
+            gf256._NIBBLE_MIN_BYTES = saved
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.binary(min_size=0, max_size=2000),
+        params=st.sampled_from([(4, 2), (4, 3), (6, 3), (7, 5)]),
+        stripe_bytes=st.sampled_from([1, 3, 8, 100, 1 << 17]),
+    )
+    def test_streaming_encode_agrees_with_scalar_reference(
+            self, data, params, stripe_bytes):
+        n, k = params
+        coder = ErasureCoder(n, k)
+        buffer = coder.encode_into(data, stripe_bytes=stripe_bytes)
+        assert [row.tobytes() for row in buffer] == _reference_encode(coder, data)
 
     @settings(max_examples=30, deadline=None)
     @given(

@@ -20,6 +20,7 @@ from repro.common.errors import (
 )
 from repro.common.types import Permission, Principal
 from repro.common.units import GB, MONTH_SECONDS
+from repro.crypto.hashing import content_digest
 from repro.simenv.failures import FailureSchedule, FaultKind
 from repro.simenv.latency import NetworkProfile
 
@@ -162,6 +163,28 @@ class TestEventuallyConsistentStore:
         store.force_visibility()
         version = store.head("k", alice)
         assert version.size == 5 and version.key == "k"
+
+    def test_head_digest_is_lazily_computed_and_cached(self, sim, alice):
+        store = self._store(sim)
+        store.put("k", b"payload", alice)
+        store.force_visibility()
+        stored = store._objects["k"]
+        assert stored.digest is None  # fault-free put defers the sha256
+        version = store.head("k", alice)
+        assert version.digest == content_digest(b"payload")
+        assert stored.digest == version.digest  # cached after the first head
+
+    def test_faulty_put_hashes_the_sent_bytes_eagerly(self, sim, alice):
+        # When the stored bytes differ from the sent bytes (DROP_WRITES),
+        # the as-put digest cannot be derived lazily from the stored data —
+        # it must be captured at put time.
+        failures = FailureSchedule()
+        failures.add(FaultKind.DROP_WRITES)
+        store = self._store(sim, failures=failures)
+        store.put("k", b"value", alice)
+        store.force_visibility()
+        assert store._objects["k"].digest == content_digest(b"value")
+        assert store.head("k", alice).digest == content_digest(b"value")
 
     def test_delete_is_idempotent(self, sim, alice):
         store = self._store(sim)

@@ -139,6 +139,50 @@ class TestQuorumCallEngine:
         assert stats.stage_waits == pytest.approx((2.0, 3.0))
 
 
+class TestPrepareHook:
+    """The lazy ``prepare`` hook runs once at dispatch, never for idle requests."""
+
+    def _prepared_request(self, cloud, latencies, counter, fail=False):
+        base = request(cloud, latencies, fail=fail)
+
+        def prepare():
+            counter[cloud] = counter.get(cloud, 0) + 1
+
+        return QuorumRequest(cloud=base.cloud, send=base.send,
+                             latency=base.latency, prepare=prepare)
+
+    def test_prepare_runs_before_first_send(self):
+        order: list[str] = []
+        sent = QuorumRequest(
+            cloud="a",
+            send=lambda: order.append("send"),
+            latency=lambda _: 1.0,
+            prepare=lambda: order.append("prepare"),
+        )
+        stats = dispatch_quorum([[sent]], 1)
+        assert stats.reached
+        assert order == ["prepare", "send"]
+
+    def test_prepare_skipped_for_undispatched_fallback(self):
+        counter: dict[str, int] = {}
+        stats = dispatch_quorum(
+            [[self._prepared_request("a", 1.0, counter)],
+             [self._prepared_request("b", 1.0, counter)]], 1
+        )
+        assert stats.reached
+        assert counter == {"a": 1}  # the fallback never materialised its blob
+
+    def test_prepare_not_repeated_on_retry(self):
+        counter: dict[str, int] = {}
+        policy = DispatchPolicy(timeout=2.0, retries=1)
+        stats = dispatch_quorum(
+            [[self._prepared_request("flaky", [10.0, 1.0], counter)]], 1, policy
+        )
+        assert stats.reached
+        assert stats.winners[0].attempts == 2
+        assert counter == {"flaky": 1}
+
+
 class TestDegradedFaults:
     def test_degradation_factor_compounds_and_expires(self):
         schedule = FailureSchedule()

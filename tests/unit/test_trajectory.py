@@ -97,6 +97,40 @@ class TestGate:
         assert violations == []
 
 
+class TestFloorGate:
+    """Higher-is-better metrics gated by maximum allowed drop."""
+
+    def test_drop_within_floor_passes(self):
+        report, violations = trajectory.gate(
+            _entries({"mbps": 100.0}, {"mbps": 85.0}), {}, {"mbps": 0.2})
+        assert violations == []
+        assert any("ok" in line for line in report)
+
+    def test_drop_past_floor_fails(self):
+        report, violations = trajectory.gate(
+            _entries({"mbps": 100.0}, {"mbps": 79.0}), {}, {"mbps": 0.2})
+        assert len(violations) == 1 and "mbps" in violations[0]
+        assert "floor" in violations[0]
+
+    def test_improvement_always_passes(self):
+        _, violations = trajectory.gate(
+            _entries({"mbps": 100.0}, {"mbps": 250.0}), {}, {"mbps": 0.2})
+        assert violations == []
+
+    def test_missing_floor_metric_is_ungated(self):
+        report, violations = trajectory.gate(
+            _entries({"other": 1.0}, {"mbps": 50.0}), {}, {"mbps": 0.2})
+        assert violations == []
+        assert any("ungated" in line for line in report)
+
+    def test_ceilings_and_floors_combine(self):
+        entries = _entries({"wall_ms": 10.0, "mbps": 100.0},
+                           {"wall_ms": 20.0, "mbps": 50.0})
+        _, violations = trajectory.gate(
+            entries, {"wall_ms": 0.5}, {"mbps": 0.2})
+        assert len(violations) == 2
+
+
 class TestCli:
     def test_gate_command_passes_and_fails(self, root, capsys):
         trajectory.record_bench("demo", {"wall_ms": 10.0}, pr=1)
@@ -119,3 +153,12 @@ class TestCli:
         with pytest.raises(SystemExit):
             trajectory.main(["gate", str(root / "BENCH_demo.json"),
                              "--tol", "nonsense"])
+
+    def test_floor_flag_gates_throughput_drops(self, root, capsys):
+        trajectory.record_bench("demo", {"mbps": 100.0}, pr=1)
+        trajectory.record_bench("demo", {"mbps": 90.0}, pr=2)
+        path = str(root / "BENCH_demo.json")
+        assert trajectory.main(["gate", path, "--floor", "mbps=0.2"]) == 0
+        trajectory.record_bench("demo", {"mbps": 60.0}, pr=3)
+        assert trajectory.main(["gate", path, "--floor", "mbps=0.2"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
