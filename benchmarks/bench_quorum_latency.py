@@ -43,12 +43,19 @@ from __future__ import annotations
 import os
 
 from repro.clouds.dispatch import DispatchPolicy
-from repro.clouds.health import CloudHealthTracker, SuspicionPolicy
+from repro.clouds.eventual import EventuallyConsistentStore
+from repro.clouds.health import CloudHealthTracker, QuorumPlanner, SuspicionPolicy
+from repro.clouds.pricing import StoragePricing
+from repro.clouds.quorums import WeightedQuorumSystem
 from repro.common.types import Principal
 from repro.common.units import KB
 from repro.bench.report import percentile, render_table
 from repro.bench.trajectory import record_bench
-from repro.clouds.providers import make_cloud_of_clouds
+from repro.clouds.providers import (
+    COC_STORAGE_PROVIDERS,
+    PROVIDER_PROFILES,
+    make_cloud_of_clouds,
+)
 from repro.depsky.protocol import DepSkyClient
 from repro.simenv.environment import Simulation
 from repro.simenv.failures import FaultKind
@@ -325,4 +332,166 @@ def test_outage_recovery_sweep(run_once, benchmark, capsys):
         "hang_suspect_mean_s": round(_mean(hang_tracked[1:]), 4),
         "crash_suspect_mean_s": round(
             _mean(results[("crash", "suspect")]["outage_reads"][1:]), 4),
+    })
+
+
+# --------------------------------------------------------------------------
+# Weighted-quorum frontier: cost x latency of weighted vs threshold quorums
+# under heterogeneous pricing and a DEGRADED gray failure (Figure 11 style).
+# --------------------------------------------------------------------------
+
+FRONTIER_READS = 16 if FAST else 48
+FRONTIER_WARMUP = 5
+FRONTIER_SCHEDULES = ("healthy", "degraded")
+#: The gray-failed provider of the degraded schedule: a *systematic* cloud,
+#: so the classic threshold read pays its straggler latency on every call.
+FRONTIER_STRAGGLER = 1
+
+#: Heterogeneous per-provider pricing: in the classic threshold layout the
+#: *systematic* clouds (the first two) are the expensive ones, so preferring
+#: them is exactly the wrong call economically — the planner's opportunity.
+FRONTIER_PRICING: dict[str, StoragePricing] = {
+    "amazon-s3": StoragePricing(outbound_gb=0.19, get_request=0.00001),
+    "google-storage": StoragePricing(outbound_gb=0.13, get_request=0.000005),
+    "rackspace-files": StoragePricing(outbound_gb=0.09, get_request=0.000004),
+    "windows-azure": StoragePricing(outbound_gb=0.10, get_request=0.000004),
+}
+
+#: Trust weights of the weighted arm (the heavy provider cannot certify alone).
+FRONTIER_WEIGHTS = (("amazon-s3", 1.2), ("google-storage", 1.0),
+                    ("rackspace-files", 1.0), ("windows-azure", 1.0))
+
+
+def _make_frontier_clouds(sim: Simulation) -> list[EventuallyConsistentStore]:
+    clouds = []
+    for name in COC_STORAGE_PROVIDERS:
+        profile = PROVIDER_PROFILES[name]
+        clouds.append(EventuallyConsistentStore(
+            sim, name=name, profile=profile.network.with_jitter(JITTER),
+            pricing=FRONTIER_PRICING[name], charge_latency=False))
+    return clouds
+
+
+def _run_frontier_arm(arm: str, schedule: str, seed: int = 17) -> dict:
+    sim = Simulation(seed=seed)
+    clouds = _make_frontier_clouds(sim)
+    stores = {cloud.name: cloud for cloud in clouds}
+    tracker = CloudHealthTracker(SUSPICION)
+    system = planner = None
+    if arm == "weighted":
+        system = WeightedQuorumSystem(universe=COC_STORAGE_PROVIDERS,
+                                      weights=FRONTIER_WEIGHTS, fault_budget=1.2)
+        system.validate()
+
+        def latency_of(name: str, kind: str, payload: int) -> float:
+            expected = stores[name].expected_request_latency(kind, payload)
+            record = tracker.health(name)
+            if (record.samples >= tracker.policy.min_samples
+                    and record.ewma_latency is not None):
+                # The EWMA covers whole requests, the profile expectation the
+                # same: take the pessimistic blend (a straggler's measured
+                # latency dominates its advertised one).
+                expected = max(expected, record.ewma_latency)
+            return expected
+
+        def cost_of(name: str, kind: str, payload: int) -> float:
+            return stores[name].costs.pricing.request_cost(kind, payload)
+
+        planner = QuorumPlanner(latency_of=latency_of, cost_of=cost_of,
+                                tracker=tracker)
+    elif arm != "threshold":
+        raise ValueError(f"unknown frontier arm {arm!r}")
+
+    client = DepSkyClient(sim, clouds, Principal("bench-user"), f=1,
+                          health=tracker, quorum=system, planner=planner)
+    payload = bytes((i * 73) % 256 for i in range(PAYLOAD))
+    client.write("unit-frontier", payload)
+    sim.advance(3.0)
+    # Warm the latency EWMAs (and, under the degraded schedule, let them see
+    # the straggler) before the measured window.
+    if schedule == "degraded":
+        clouds[FRONTIER_STRAGGLER].failures.add(
+            FaultKind.DEGRADED, start=sim.now(), factor=DEGRADED_FACTOR)
+    elif schedule != "healthy":
+        raise ValueError(f"unknown frontier schedule {schedule!r}")
+    for _ in range(FRONTIER_WARMUP):
+        client.read_latest("unit-frontier")
+        sim.advance(READ_GAP)
+
+    def spent() -> float:
+        return sum(cloud.costs.request_cost() + cloud.costs.traffic_cost()
+                   for cloud in clouds)
+
+    baseline = spent()
+    latencies = []
+    for _ in range(FRONTIER_READS):
+        start = sim.now()
+        client.read_latest("unit-frontier")
+        latencies.append(sim.now() - start)
+        sim.advance(READ_GAP)
+    dollars = spent() - baseline
+    return {
+        "latencies": latencies,
+        "cost": dollars,
+        "cost_per_read": dollars / FRONTIER_READS,
+        "mean_latency": _mean(latencies),
+    }
+
+
+def test_weighted_quorum_frontier(run_once, benchmark, capsys):
+    results = run_once(lambda: {
+        (schedule, arm): _run_frontier_arm(arm, schedule)
+        for schedule in FRONTIER_SCHEDULES
+        for arm in ("threshold", "weighted")
+    })
+
+    rows = []
+    for (schedule, arm), result in results.items():
+        rows.append([
+            schedule, arm,
+            result["mean_latency"], percentile(result["latencies"], 99),
+            result["cost_per_read"] * 1e3,
+            result["mean_latency"] * result["cost_per_read"] * 1e3,
+        ])
+    with capsys.disabled():
+        print()
+        print(render_table(
+            f"Weighted-quorum frontier ({FRONTIER_READS} reads of 256K, "
+            "heterogeneous pricing, straggler = systematic cloud)",
+            ["schedule", "quorums", "read mean", "read p99",
+             "m$/read", "m$*s/read"],
+            rows, float_format="{:.3f}"))
+    benchmark.extra_info["frontier"] = {
+        f"{schedule}/{arm}": {
+            "mean_latency_s": round(result["mean_latency"], 4),
+            "cost_per_read_usd": round(result["cost_per_read"], 8),
+        }
+        for (schedule, arm), result in results.items()
+    }
+
+    def product(schedule: str, arm: str) -> float:
+        result = results[(schedule, arm)]
+        return result["mean_latency"] * result["cost_per_read"]
+
+    # Weighted quorums strictly dominate the threshold layout on the cost x
+    # latency frontier: cheaper *and* no slower when healthy (the planner
+    # routes reads to the cheap, fast providers instead of the expensive
+    # systematic pair), and both cheaper and faster under the gray failure
+    # (the straggler is planned around instead of waited out or hedged).
+    for schedule in FRONTIER_SCHEDULES:
+        threshold, weighted = results[(schedule, "threshold")], results[(schedule, "weighted")]
+        assert weighted["cost_per_read"] < threshold["cost_per_read"], schedule
+        assert weighted["mean_latency"] < 1.05 * threshold["mean_latency"], schedule
+    assert product("degraded", "weighted") < product("degraded", "threshold")
+
+    # The CI-gated headline: how many times more cost x latency the classic
+    # threshold quorums burn versus weighted planning under the gray failure.
+    ratio = product("degraded", "threshold") / product("degraded", "weighted")
+    assert ratio > 1.0
+    record_bench("quorum", {
+        "weighted_quorum_cost_ratio": round(ratio, 3),
+        "frontier_weighted_degraded_read_s": round(
+            results[("degraded", "weighted")]["mean_latency"], 4),
+        "frontier_threshold_degraded_read_s": round(
+            results[("degraded", "threshold")]["mean_latency"], 4),
     })

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.common.errors import AccessDeniedError, CloudError, ObjectNotFoundError
+from repro.clouds.quorums import as_quorum
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
     from repro.clouds.health import CloudHealthTracker
@@ -271,18 +272,46 @@ class QuorumCall:
                             hedged=hedged, probe=probe, benign=benign, value=value)
 
     @staticmethod
-    def _quorum_time(traces: list[RequestTrace], required: int) -> float | None:
-        times = sorted(t.resolved_at for t in traces if t.status is RequestStatus.OK)
-        return times[required - 1] if len(times) >= required else None
+    def _ordered_successes(traces: list[RequestTrace]) -> list[RequestTrace]:
+        return sorted((t for t in traces if t.status is RequestStatus.OK),
+                      key=lambda t: (t.resolved_at, t.dispatched_at))
 
-    def execute(self, required: int) -> QuorumCallStats:
+    @classmethod
+    def _satisfying_prefix(cls, traces: list[RequestTrace],
+                           quorum) -> list[RequestTrace] | None:
+        """Shortest success prefix (in resolution order) satisfying ``quorum``.
+
+        The predicate is monotone, so the first prefix that satisfies it marks
+        the instant the call completes.  For a :class:`~repro.clouds.quorums.
+        CountQuorum` this is exactly the legacy m-th-success semantics.
+        """
+        ordered = cls._ordered_successes(traces)
+        responders: list[str] = []
+        for count, trace in enumerate(ordered, start=1):
+            responders.append(trace.cloud)
+            if quorum.satisfied_by(responders):
+                return ordered[:count]
+        return None
+
+    @classmethod
+    def _quorum_time(cls, traces: list[RequestTrace], quorum) -> float | None:
+        prefix = cls._satisfying_prefix(traces, quorum)
+        return prefix[-1].resolved_at if prefix is not None else None
+
+    def execute(self, required) -> QuorumCallStats:
         """Dispatch the stages and return the call's statistics.
+
+        ``required`` is either the classic response count (a bare ``int``) or
+        any quorum predicate from :mod:`repro.clouds.quorums` — the call then
+        completes when the set of successful responders *satisfies* the
+        predicate, not at a fixed m-th success.
 
         Never raises on quorum failure — callers inspect
         :attr:`QuorumCallStats.reached` and raise their protocol-level error
         (typically :class:`~repro.common.errors.QuorumNotReachedError`).
         """
-        if required <= 0:
+        quorum = as_quorum(required)
+        if quorum.min_size <= 0:
             raise ValueError("a quorum call needs required >= 1")
         if not self._stages or not self._stages[0]:
             raise ValueError("a quorum call needs at least one non-empty stage")
@@ -291,7 +320,7 @@ class QuorumCall:
         probe_requests: list[QuorumRequest] = []
         demoted: tuple[str, ...] = ()
         if self.health is not None:
-            planned = self.health.plan(stages, required, self.now)
+            planned = self.health.plan(stages, quorum, self.now)
             stages, probe_requests, demoted = planned.stages, planned.probes, planned.demoted
 
         traces: list[RequestTrace] = []
@@ -307,7 +336,7 @@ class QuorumCall:
             if index == 0:
                 start, hedged = 0.0, False
             else:
-                quorum_at = self._quorum_time(traces, required)
+                quorum_at = self._quorum_time(traces, quorum)
                 round_end = max(t.resolved_at for t in traces if not t.probe)
                 start, hedged = None, False
                 if quorum_at is None:
@@ -334,15 +363,13 @@ class QuorumCall:
             if hedged:
                 hedged_count += len(requests)
 
-        elapsed = self._quorum_time(traces, required)
+        prefix = self._satisfying_prefix(traces, quorum)
+        elapsed: float | None = None
         winners: tuple[RequestTrace, ...] = ()
-        if elapsed is not None:
-            ordered = sorted(
-                (t for t in traces if t.status is RequestStatus.OK),
-                key=lambda t: (t.resolved_at, t.dispatched_at),
-            )
-            winners = tuple(ordered[:required])
-            for trace in ordered[required:]:
+        if prefix is not None:
+            elapsed = prefix[-1].resolved_at
+            winners = tuple(prefix)
+            for trace in self._ordered_successes(traces)[len(prefix):]:
                 trace.status = RequestStatus.LATE
         # A dead cloud's probe must not inflate the time a failed call charges.
         gave_up_at = max((t.resolved_at for t in traces if not t.probe),
@@ -356,18 +383,22 @@ class QuorumCall:
             for trace in traces:
                 self.health.record_trace(trace, self.now)
         return QuorumCallStats(
-            required=required, elapsed=elapsed, gave_up_at=gave_up_at,
+            required=quorum.min_size, elapsed=elapsed, gave_up_at=gave_up_at,
             traces=traces, stage_started_at=tuple(stage_starts),
             stage_waits=stage_waits, winners=winners, hedged=hedged_count,
             probes=len(probe_requests), demoted=demoted,
         )
 
 
-def dispatch_quorum(stages: Sequence[Sequence[QuorumRequest]], required: int,
+def dispatch_quorum(stages: Sequence[Sequence[QuorumRequest]], required,
                     policy: DispatchPolicy | None = None,
                     health: "CloudHealthTracker | None" = None,
                     now: float = 0.0) -> QuorumCallStats:
-    """Convenience wrapper: build a :class:`QuorumCall` from ``stages`` and run it."""
+    """Convenience wrapper: build a :class:`QuorumCall` from ``stages`` and run it.
+
+    ``required`` is a response count or any :mod:`repro.clouds.quorums`
+    predicate (see :meth:`QuorumCall.execute`).
+    """
     call = QuorumCall(policy, health=health, now=now)
     for requests in stages:
         call.stage(requests)

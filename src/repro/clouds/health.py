@@ -59,12 +59,17 @@ the straggler path.
 from __future__ import annotations
 
 import enum
+import logging
 import statistics
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.clouds.quorums import as_quorum, minimal_quorums
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
     from repro.clouds.dispatch import QuorumRequest, RequestTrace
+
+logger = logging.getLogger(__name__)
 
 
 class CloudStatus(enum.Enum):
@@ -155,6 +160,9 @@ class HealthStats:
     demoted_requests: int = 0
     #: Demoted requests that were skipped entirely (probe window not yet due).
     skipped_requests: int = 0
+    #: Plans reverted to their original stages because demoting the suspects
+    #: would have left the quorum unsatisfiable (the conservative path).
+    conservative_reverts: int = 0
     suspected_now: tuple[str, ...] = ()
     degraded_now: tuple[str, ...] = ()
 
@@ -166,6 +174,7 @@ class HealthStats:
             probes=self.probes + other.probes,
             demoted_requests=self.demoted_requests + other.demoted_requests,
             skipped_requests=self.skipped_requests + other.skipped_requests,
+            conservative_reverts=self.conservative_reverts + other.conservative_reverts,
             suspected_now=tuple(dict.fromkeys(self.suspected_now + other.suspected_now)),
             degraded_now=tuple(dict.fromkeys(self.degraded_now + other.degraded_now)),
         )
@@ -181,6 +190,9 @@ class PlannedStages:
     probes: list["QuorumRequest"] = field(default_factory=list)
     #: Clouds demoted out of their planned stage this call.
     demoted: tuple[str, ...] = ()
+    #: True when the plan fell back to the original stages because demotion
+    #: would have made the quorum unsatisfiable (conservative revert).
+    reverted: bool = False
 
 
 class CloudHealthTracker:
@@ -195,6 +207,7 @@ class CloudHealthTracker:
         self.probes = 0
         self.demoted_requests = 0
         self.skipped_requests = 0
+        self.conservative_reverts = 0
         #: Optional observer of suspect-list transitions, invoked as
         #: ``on_transition(cloud, state, now)`` with state ``"suspected"`` or
         #: ``"recovered"`` (the scenario engine records these in its trace).
@@ -272,19 +285,24 @@ class CloudHealthTracker:
 
     # --------------------------------------------------------------- planning
 
-    def plan(self, stages: Sequence[Sequence["QuorumRequest"]], required: int,
+    def plan(self, stages: Sequence[Sequence["QuorumRequest"]], required,
              now: float) -> PlannedStages:
         """Re-plan a call's stages around the current suspect list.
 
-        Suspected clouds are removed from every stage; fallback requests are
-        promoted forward to refill earlier stages (preserving the original
-        stage sizes), so the primary round keeps enough healthy clouds to
-        satisfy the quorum without waiting for a fallback dispatch.  Suspected
-        clouds whose probe window is due come back as background probes.  When
-        fewer unsuspected requests remain than ``required``, the plan reverts
-        to the original stages (suspicion must never make a call unsatisfiable
-        that would otherwise be tried).
+        ``required`` is a response count or any quorum predicate from
+        :mod:`repro.clouds.quorums`.  Suspected clouds are removed from every
+        stage; fallback requests are promoted forward to refill earlier stages
+        (preserving the original stage sizes), so the primary round keeps
+        enough healthy clouds to satisfy the quorum without waiting for a
+        fallback dispatch.  Suspected clouds whose probe window is due come
+        back as background probes.  When the unsuspected requests cannot
+        satisfy the quorum predicate, the plan *loudly* reverts to the
+        original stages (suspicion must never make a call unsatisfiable that
+        would otherwise be tried): the revert is logged, counted in
+        :attr:`HealthStats.conservative_reverts` and flagged on the returned
+        :class:`PlannedStages`.
         """
+        quorum = as_quorum(required)
         suspected = [
             request
             for stage in stages
@@ -299,9 +317,16 @@ class CloudHealthTracker:
             for request in stage
             if not self.is_suspected(request.cloud)
         ]
-        if len(remaining) < required:
+        if not quorum.satisfied_by([request.cloud for request in remaining]):
             # Too many suspects: demotion would make the quorum unreachable.
-            return PlannedStages(stages=[list(stage) for stage in stages])
+            self.conservative_reverts += 1
+            logger.warning(
+                "health plan reverted: demoting suspected clouds %s would "
+                "leave the quorum unsatisfiable (%d unsuspected requests "
+                "remain); dispatching the original stages instead",
+                sorted({request.cloud for request in suspected}), len(remaining))
+            return PlannedStages(stages=[list(stage) for stage in stages],
+                                 reverted=True)
 
         probes: list[QuorumRequest] = []
         demoted: list[str] = []
@@ -407,6 +432,155 @@ class CloudHealthTracker:
             probes=self.probes,
             demoted_requests=self.demoted_requests,
             skipped_requests=self.skipped_requests,
+            conservative_reverts=self.conservative_reverts,
             suspected_now=self.suspected_clouds(),
             degraded_now=self.degraded_clouds(),
         )
+
+    # ------------------------------------------------------------- persistence
+
+    def export_state(self) -> tuple[tuple, ...]:
+        """Serializable per-cloud snapshot for warm restarts.
+
+        Captures everything :meth:`plan` and the latency estimators consult —
+        status, failure streak, probe window, latency EWMA — as plain nested
+        tuples, so the snapshot can ride inside a frozen
+        :class:`~repro.core.config.SCFSConfig` (see
+        ``DispatchPolicyConfig.health_snapshot``) and an agent restarted after
+        a crash resumes with a *warm* suspect list instead of re-paying the
+        detection latency of every known-bad provider.  Lifetime counters
+        (suspicions/recoveries) are intentionally excluded: they belong to the
+        previous incarnation's report, not to the new tracker's.
+        """
+        return tuple(
+            (record.cloud, record.status.value, record.consecutive_failures,
+             record.suspected_at, record.probe_at, record.probe_interval,
+             record.ewma_latency, record.samples)
+            for record in sorted(self._clouds.values(), key=lambda r: r.cloud)
+        )
+
+    def restore_state(self, state: Sequence[Sequence]) -> None:
+        """Load a snapshot produced by :meth:`export_state`."""
+        for entry in state:
+            (cloud, status, failures, suspected_at,
+             probe_at, probe_interval, ewma, samples) = entry
+            record = self.health(cloud)
+            record.status = CloudStatus(status)
+            record.consecutive_failures = int(failures)
+            record.suspected_at = suspected_at
+            record.probe_at = probe_at
+            record.probe_interval = float(probe_interval)
+            record.ewma_latency = ewma
+            record.samples = int(samples)
+
+
+@dataclass(frozen=True)
+class QuorumPlan:
+    """One planned quorum: the chosen primary stage and its expected economics."""
+
+    #: Clouds of the cheapest feasible quorum, in candidate order (stage 0).
+    primary: tuple[str, ...]
+    #: Remaining candidates, dispatched only as a fallback stage.
+    fallback: tuple[str, ...]
+    #: Expected completion latency of the primary stage (max member estimate).
+    expected_latency: float
+    #: Expected request cost of dispatching the primary stage.
+    expected_cost: float
+    #: True when suspicion demotion would have made the quorum unsatisfiable
+    #: and the planner fell back to the full candidate pool.
+    reverted: bool = False
+
+
+class QuorumPlanner:
+    """Ranks candidate quorums by expected cost × latency.
+
+    The planner turns quorum *selection* into an optimization problem: given
+    per-cloud estimators for expected request latency (typically the health
+    tracker's EWMA blended with the provider profile) and request cost
+    (derived from :class:`~repro.clouds.pricing.StoragePricing` via each
+    provider's :class:`~repro.clouds.accounting.CostTracker`), it enumerates
+    the *minimal* satisfying quorums of the candidate pool and picks the one
+    minimizing ``cost × latency`` — dispatching a minimal quorum as stage 0
+    and everything else as fallback.  Suspected clouds are demoted out of the
+    pool first; when that leaves the predicate unsatisfiable the planner
+    reverts loudly to the full pool (never trading liveness for economy).
+    """
+
+    #: Above this pool size exact enumeration gives way to a greedy build.
+    max_enumeration: int = 12
+
+    def __init__(self, latency_of: Callable[[str, str, int], float],
+                 cost_of: Callable[[str, str, int], float],
+                 tracker: "CloudHealthTracker | None" = None):
+        self.latency_of = latency_of
+        self.cost_of = cost_of
+        self.tracker = tracker
+        self.plans = 0
+        self.reverts = 0
+
+    def plan(self, candidates: Sequence[str], required, kind: str,
+             payload: int) -> QuorumPlan:
+        """Pick the cheapest feasible quorum among ``candidates``.
+
+        ``required`` is a response count or quorum predicate; ``kind`` and
+        ``payload`` parameterize the per-cloud latency/cost estimators
+        (``"object_get"`` with the expected transfer size, etc.).
+        """
+        quorum = as_quorum(required)
+        names = list(candidates)
+        pool = [cloud for cloud in names
+                if self.tracker is None or not self.tracker.is_suspected(cloud)]
+        reverted = False
+        if not quorum.satisfied_by(pool):
+            self.reverts += 1
+            reverted = True
+            demoted = sorted(set(names) - set(pool))
+            if demoted:
+                logger.warning(
+                    "quorum planner reverted: demoting suspected clouds %s "
+                    "leaves no feasible quorum; planning over the full pool",
+                    demoted)
+            pool = names
+        self.plans += 1
+        latency = {cloud: self.latency_of(cloud, kind, payload) for cloud in pool}
+        cost = {cloud: self.cost_of(cloud, kind, payload) for cloud in pool}
+
+        best: tuple | None = None
+        if len(pool) <= self.max_enumeration:
+            for members in minimal_quorums(pool, quorum):
+                stage_latency = max(latency[cloud] for cloud in members)
+                stage_cost = sum(cost[cloud] for cloud in members)
+                score = (stage_cost * stage_latency, stage_latency, members)
+                if best is None or score < best[0]:
+                    best = (score, members, stage_latency, stage_cost)
+        else:
+            # Greedy fallback for large pools: add clouds cheapest-first until
+            # the predicate holds (deterministic, near-optimal for counts).
+            ranked = sorted(pool, key=lambda c: (cost[c] * latency[c], c))
+            members_list: list[str] = []
+            for cloud in ranked:
+                members_list.append(cloud)
+                if quorum.satisfied_by(members_list):
+                    break
+            if quorum.satisfied_by(members_list):
+                members = tuple(members_list)
+                stage_latency = max(latency[c] for c in members)
+                stage_cost = sum(cost[c] for c in members)
+                best = (None, members, stage_latency, stage_cost)
+
+        if best is None:
+            # Even the full pool cannot satisfy the predicate (the config
+            # validator should have rejected this); dispatch everything so
+            # the engine reports the failure with complete evidence.
+            chosen = tuple(names)
+            stage_latency = max((self.latency_of(c, kind, payload) for c in chosen),
+                                default=0.0)
+            stage_cost = sum(self.cost_of(c, kind, payload) for c in chosen)
+            return QuorumPlan(primary=chosen, fallback=(), reverted=True,
+                              expected_latency=stage_latency, expected_cost=stage_cost)
+        _, members, stage_latency, stage_cost = best
+        chosen = set(members)
+        primary = tuple(cloud for cloud in names if cloud in chosen)
+        fallback = tuple(cloud for cloud in names if cloud not in chosen)
+        return QuorumPlan(primary=primary, fallback=fallback, reverted=reverted,
+                          expected_latency=stage_latency, expected_cost=stage_cost)

@@ -48,6 +48,24 @@ class StoragePricing:
         """Cost of keeping ``payload_bytes`` stored for ``seconds`` of simulated time."""
         return self.storage_gb_month * (payload_bytes / GB) * (seconds / MONTH_SECONDS)
 
+    def request_cost(self, kind: str, payload_bytes: int = 0) -> float:
+        """Expected dollars of one request of ``kind`` moving ``payload_bytes``.
+
+        ``kind`` uses the request vocabulary of the latency profiles
+        (``object_get``/``object_put``/``object_delete``/``object_list``/
+        ``metadata_op``); the quorum planner uses this to price candidate
+        quorums before dispatching them.
+        """
+        if kind == "object_get":
+            return self.get_request + self.outbound_cost(payload_bytes)
+        if kind == "object_put":
+            return self.put_request + self.inbound_cost(payload_bytes)
+        if kind == "object_delete":
+            return self.delete_request
+        if kind in ("object_list", "metadata_op"):
+            return self.list_request
+        raise ValueError(f"unknown request kind {kind!r}")
+
 
 @dataclass(frozen=True)
 class ComputePricing:

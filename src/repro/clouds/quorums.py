@@ -1,0 +1,396 @@
+"""Byzantine dissemination quorum systems beyond uniform thresholds.
+
+DepSky hard-codes *uniform threshold* quorums: ``n = 3f + 1`` clouds, any
+``n - f`` acknowledgements commit a write, any ``f + 1`` matching digests
+certify a version.  That integer-count assumption is what every layer of this
+repo used to pass around as ``required: int``.  This module makes the quorum
+structure first-class, following the generalized Byzantine quorum systems of
+Malkhi & Reiter and their weighted/asymmetric descendants: a
+:class:`QuorumSystem` names its *universe* of providers and exposes two
+predicates over responder sets —
+
+* the **quorum** predicate: the sets whose acknowledgement commits an
+  operation.  Consistency requires any two quorums to intersect in at least
+  one *correct* provider (so a reader always meets a cloud that saw the
+  latest committed write);
+* the **certificate** predicate: the sets that cannot consist entirely of
+  faulty providers.  A (version, digest) pair confirmed by a certificate is
+  guaranteed authentic — this generalizes DepSky's ``f + 1`` matching-digest
+  check.
+
+Three structures are provided:
+
+* :class:`ThresholdQuorumSystem` — the classic uniform system (quorum =
+  ``n - f`` responses, certificate = ``f + 1``);
+* :class:`WeightedQuorumSystem` — per-provider trust weights and a *fault
+  budget* ``B`` (any provider set of total weight ≤ ``B`` may misbehave):
+  quorums are the sets of weight strictly above ``(W + B) / 2``, certificates
+  the sets of weight strictly above ``B``;
+* :class:`ExplicitQuorumSystem` — an explicit quorum list plus a fail-prone
+  system (asymmetric quorum slices), checked directly against the
+  Malkhi–Reiter D-consistency and availability conditions.
+
+Each system's :meth:`~QuorumSystem.validate` checks both properties —
+**consistency** (quorum intersections survive every tolerated fault set) and
+**availability** (after any tolerated fault set fails, some quorum remains
+responsive) — so an unsatisfiable configuration is rejected loudly at config
+time instead of wedging every quorum call at runtime.
+
+The dispatch engine itself consumes the weaker :class:`QuorumPredicate`
+protocol (``satisfied_by`` over responder names plus a ``min_size``), of
+which :class:`CountQuorum` is the bare-``int`` adapter: counting *responses*
+exactly like the legacy m-th-success engine, so threshold mode stays
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class CountQuorum:
+    """The legacy predicate: any ``required`` successful responses satisfy it.
+
+    Counts *responses*, not distinct clouds — exactly the m-th-success
+    semantics the dispatch engine has always had, so wrapping a bare ``int``
+    in a :class:`CountQuorum` changes no behaviour and no wire bytes.
+    """
+
+    required: int
+
+    @property
+    def min_size(self) -> int:
+        """Smallest number of responses that can satisfy the predicate."""
+        return self.required
+
+    def satisfied_by(self, responders: Sequence[str]) -> bool:
+        """True when enough responses arrived (monotone in ``responders``)."""
+        return len(responders) >= self.required
+
+
+@dataclass(frozen=True)
+class WeightedCountQuorum:
+    """Weighted predicate: distinct responders of total weight above a bar.
+
+    All weight arithmetic is *exact* (:class:`~fractions.Fraction`; converting
+    a float is lossless).  Float summation is order-dependent: a responder set
+    whose true weight lands exactly on the bar can drift to either side of the
+    strict comparison, and accepting such a set breaks quorum intersection —
+    two "quorums" of weight exactly ``(W + B) / 2`` may overlap entirely
+    inside a tolerated fault set.
+    """
+
+    #: ``(cloud, weight)`` pairs of the universe.
+    weights: tuple[tuple[str, float], ...]
+    #: The predicate holds when the responder weight strictly exceeds this.
+    threshold_weight: float | Fraction
+
+    def _weight(self, responders: Sequence[str]) -> Fraction:
+        table = {name: Fraction(weight) for name, weight in self.weights}
+        return sum((table[cloud] for cloud in set(responders) if cloud in table),
+                   start=Fraction(0))
+
+    @property
+    def min_size(self) -> int:
+        """Fewest distinct clouds that can clear the bar (heaviest first)."""
+        total = Fraction(0)
+        bar = Fraction(self.threshold_weight)
+        for count, (_, weight) in enumerate(
+                sorted(self.weights, key=lambda item: (-item[1], item[0])), start=1):
+            total += Fraction(weight)
+            if total > bar:
+                return count
+        return len(self.weights) + 1  # unsatisfiable even by the full universe
+
+    def satisfied_by(self, responders: Sequence[str]) -> bool:
+        return self._weight(responders) > Fraction(self.threshold_weight)
+
+
+@dataclass(frozen=True)
+class SubsetQuorum:
+    """Explicit predicate: satisfied when the responders cover some quorum."""
+
+    quorums: tuple[frozenset[str], ...]
+
+    @property
+    def min_size(self) -> int:
+        return min((len(q) for q in self.quorums), default=1)
+
+    def satisfied_by(self, responders: Sequence[str]) -> bool:
+        present = set(responders)
+        return any(quorum <= present for quorum in self.quorums)
+
+
+@dataclass(frozen=True)
+class SurvivorQuorum:
+    """Certificate predicate of an explicit system: not contained in any
+    fail-prone set (hence at least one responder is guaranteed correct)."""
+
+    fault_sets: tuple[frozenset[str], ...]
+
+    @property
+    def min_size(self) -> int:
+        # A single responder outside every fault set already certifies, so the
+        # honest lower bound on a satisfying set is one responder.
+        return 1
+
+    def satisfied_by(self, responders: Sequence[str]) -> bool:
+        present = set(responders)
+        if not present:
+            return False
+        return all(not present <= fault_set for fault_set in self.fault_sets)
+
+
+def as_quorum(required):
+    """Normalize a bare ``required: int`` to a quorum predicate."""
+    if isinstance(required, int):
+        return CountQuorum(required)
+    return required
+
+
+def min_size(required) -> int:
+    """The ``min_size`` of a predicate, or a bare ``int`` itself."""
+    return required if isinstance(required, int) else required.min_size
+
+
+def minimal_quorums(pool: Sequence[str], predicate) -> Iterator[tuple[str, ...]]:
+    """Yield every *minimal* satisfying subset of ``pool``.
+
+    A subset is minimal when removing any one member breaks the predicate.
+    Enumeration order is deterministic (by size, then by ``pool`` order).
+    Intended for planner-sized pools (a handful of providers); callers with
+    large pools should fall back to a greedy construction instead.
+    """
+    predicate = as_quorum(predicate)
+    names = list(pool)
+    for size in range(max(1, predicate.min_size), len(names) + 1):
+        for combo in itertools.combinations(names, size):
+            if not predicate.satisfied_by(combo):
+                continue
+            if any(predicate.satisfied_by(combo[:i] + combo[i + 1:])
+                   for i in range(len(combo))):
+                continue  # a proper subset already satisfies: not minimal
+            yield combo
+
+
+class QuorumSystem:
+    """Base class of a Byzantine dissemination quorum system.
+
+    Subclasses define :meth:`quorum` (the commit predicate), :meth:`certificate`
+    (the authenticity predicate) and :meth:`validate`; the convenience wrappers
+    below are shared.
+    """
+
+    # Annotation-only on purpose: assigning class-level defaults here would
+    # leak into the dataclass subclasses as field defaults and break their
+    # required-field ordering.
+    mode: str
+    universe: tuple[str, ...]
+
+    def quorum(self):
+        """Predicate over responder sets whose acknowledgement commits."""
+        raise NotImplementedError
+
+    def certificate(self):
+        """Predicate over responder sets that cannot be entirely faulty."""
+        raise NotImplementedError
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` unless consistency and availability hold."""
+        raise NotImplementedError
+
+    def satisfied_by(self, responders: Iterable[str]) -> bool:
+        """True when ``responders`` form a quorum."""
+        return self.quorum().satisfied_by(tuple(responders))
+
+    def certifies(self, responders: Iterable[str]) -> bool:
+        """True when ``responders`` certify a value (≥ 1 correct member)."""
+        return self.certificate().satisfied_by(tuple(responders))
+
+    def feasible(self, available: Iterable[str]) -> bool:
+        """True when the available providers still contain a quorum."""
+        return self.satisfied_by(available)
+
+    def describe(self) -> str:
+        """One-line human description (reports and error messages)."""
+        return f"{self.mode} quorum system over {len(self.universe)} providers"
+
+
+@dataclass(frozen=True)
+class ThresholdQuorumSystem(QuorumSystem):
+    """The classic DepSky system: ``n = |universe|`` clouds tolerating ``f``.
+
+    Quorums are any ``n - f`` responses, certificates any ``f + 1``; validity
+    is the familiar ``n >= 3f + 1`` (two write quorums then intersect in at
+    least ``f + 1`` clouds, one of which must be correct).
+    """
+
+    universe: tuple[str, ...]
+    f: int
+    mode: str = "threshold"
+
+    def quorum(self) -> CountQuorum:
+        return CountQuorum(len(self.universe) - self.f)
+
+    def certificate(self) -> CountQuorum:
+        return CountQuorum(self.f + 1)
+
+    def validate(self) -> None:
+        if self.f < 0:
+            raise ValueError("the fault threshold f must be non-negative")
+        if len(self.universe) != len(set(self.universe)):
+            raise ValueError("the quorum universe lists a provider twice")
+        if len(self.universe) < 3 * self.f + 1:
+            raise ValueError(
+                f"a threshold quorum system with f={self.f} needs at least "
+                f"{3 * self.f + 1} providers, got {len(self.universe)}")
+
+
+@dataclass(frozen=True)
+class WeightedQuorumSystem(QuorumSystem):
+    """Weighted-majority quorums with a fault *budget* instead of a count.
+
+    Every provider carries a trust weight; any provider set of total weight at
+    most ``fault_budget`` may fail or misbehave simultaneously.  With total
+    weight ``W`` and budget ``B``:
+
+    * **quorums** are the sets of weight strictly above ``(W + B) / 2`` — any
+      two such sets intersect in weight strictly above ``B``, so their
+      intersection cannot lie inside a tolerated fault set (it contains a
+      correct provider: the dissemination-quorum consistency condition);
+    * **certificates** are the sets of weight strictly above ``B`` — they
+      cannot consist entirely of faulty providers;
+    * **availability** demands that the correct providers left by the heaviest
+      tolerated fault set still form a quorum, which (with an exactly
+      achievable budget) reduces to the familiar ``B < W / 3``.
+    """
+
+    universe: tuple[str, ...]
+    #: ``(provider, weight)`` pairs covering the universe exactly.
+    weights: tuple[tuple[str, float], ...]
+    fault_budget: float
+    mode: str = "weighted"
+
+    @property
+    def total_weight(self) -> float:
+        return float(self._exact_total())
+
+    def _exact_total(self) -> Fraction:
+        # Exact arithmetic throughout (see WeightedCountQuorum): the quorum
+        # bar and the subset-sum below compare against strict inequalities,
+        # where float rounding flips borderline-exact configurations.
+        return sum((Fraction(weight) for _, weight in self.weights),
+                   start=Fraction(0))
+
+    def _max_tolerated_weight(self) -> Fraction:
+        """Heaviest achievable fault set: max subset weight within the budget."""
+        budget = Fraction(self.fault_budget)
+        achievable = [Fraction(0)]
+        for _, weight in self.weights:
+            achievable += [total + Fraction(weight) for total in achievable
+                           if total + Fraction(weight) <= budget]
+        return max(achievable)
+
+    def quorum(self) -> WeightedCountQuorum:
+        return WeightedCountQuorum(
+            weights=self.weights,
+            threshold_weight=(self._exact_total() + Fraction(self.fault_budget)) / 2)
+
+    def certificate(self) -> WeightedCountQuorum:
+        return WeightedCountQuorum(weights=self.weights,
+                                   threshold_weight=Fraction(self.fault_budget))
+
+    def validate(self) -> None:
+        names = [name for name, _ in self.weights]
+        if len(names) != len(set(names)):
+            raise ValueError("a provider carries two weights")
+        if set(names) != set(self.universe) or len(self.universe) != len(set(self.universe)):
+            raise ValueError("the weight table must cover the universe exactly")
+        if any(weight <= 0 for _, weight in self.weights):
+            raise ValueError("provider weights must be positive")
+        if self.fault_budget < 0:
+            raise ValueError("the fault budget must be non-negative")
+        total = self._exact_total()
+        budget = Fraction(self.fault_budget)
+        if budget >= total:
+            raise ValueError("the fault budget must be below the total weight")
+        # Availability: the providers surviving the heaviest tolerated fault
+        # set must still clear the quorum bar.  With budget B achievable
+        # exactly this is B < W/3; an unachievable budget may be laxer.
+        surviving = total - self._max_tolerated_weight()
+        if surviving <= (total + budget) / 2:
+            raise ValueError(
+                f"weighted quorum system is unavailable: after a worst-case "
+                f"fault set only weight {float(surviving):g} of "
+                f"{float(total):g} survives, below the quorum bar "
+                f"{float((total + budget) / 2):g} "
+                f"(the fault budget {self.fault_budget:g} must stay below a "
+                f"third of the total weight)")
+
+
+@dataclass(frozen=True)
+class ExplicitQuorumSystem(QuorumSystem):
+    """Asymmetric quorum slices: an explicit quorum list plus a fail-prone system.
+
+    ``quorums`` lists the commit sets; ``fault_sets`` lists the provider sets
+    that may jointly misbehave (the fail-prone system ``B`` of Malkhi-Reiter).
+    Validity is checked directly against the masking/dissemination conditions:
+
+    * **consistency** — for all quorums ``Q1, Q2`` and every fault set ``F``,
+      ``(Q1 ∩ Q2) − F ≠ ∅`` (some correct provider witnesses both);
+    * **availability** — for every fault set ``F`` some quorum avoids ``F``
+      entirely.
+    """
+
+    universe: tuple[str, ...]
+    quorums: tuple[tuple[str, ...], ...]
+    fault_sets: tuple[tuple[str, ...], ...] = ()
+    mode: str = "explicit"
+
+    def _quorum_sets(self) -> tuple[frozenset[str], ...]:
+        return tuple(frozenset(q) for q in self.quorums)
+
+    def _fault_set_sets(self) -> tuple[frozenset[str], ...]:
+        return tuple(frozenset(f) for f in self.fault_sets)
+
+    def quorum(self) -> SubsetQuorum:
+        return SubsetQuorum(self._quorum_sets())
+
+    def certificate(self) -> SurvivorQuorum:
+        return SurvivorQuorum(self._fault_set_sets())
+
+    def validate(self) -> None:
+        if len(self.universe) != len(set(self.universe)):
+            raise ValueError("the quorum universe lists a provider twice")
+        members = set(self.universe)
+        quorums = self._quorum_sets()
+        faults = self._fault_set_sets() or (frozenset(),)
+        if not quorums:
+            raise ValueError("an explicit quorum system needs at least one quorum")
+        for quorum in quorums:
+            if not quorum:
+                raise ValueError("an explicit quorum may not be empty")
+            if not quorum <= members:
+                raise ValueError(
+                    f"quorum {sorted(quorum)} names providers outside the universe")
+        for fault_set in faults:
+            if not fault_set <= members:
+                raise ValueError(
+                    f"fault set {sorted(fault_set)} names providers outside the universe")
+        for first, second in itertools.combinations_with_replacement(quorums, 2):
+            for fault_set in faults:
+                if not (first & second) - fault_set:
+                    raise ValueError(
+                        f"quorums {sorted(first)} and {sorted(second)} may "
+                        f"intersect entirely inside fault set "
+                        f"{sorted(fault_set)}: a faulty provider could serve "
+                        f"two readers different histories")
+        for fault_set in faults:
+            if not any(not (quorum & fault_set) for quorum in quorums):
+                raise ValueError(
+                    f"no quorum survives fault set {sorted(fault_set)}: the "
+                    f"system is unavailable under a tolerated failure")

@@ -27,7 +27,7 @@ from repro.common.errors import CloudError, ObjectNotFoundError
 from repro.common.types import ObjectRef, Permission, Principal
 from repro.clouds.dispatch import BENIGN_ERRORS, DispatchPolicy, QuorumCall, QuorumRequest
 from repro.clouds.eventual import EventuallyConsistentStore
-from repro.clouds.health import CloudHealthTracker, HealthStats
+from repro.clouds.health import CloudHealthTracker, HealthStats, QuorumPlanner
 from repro.crypto.hashing import content_digest
 from repro.depsky.protocol import DepSkyClient, DepSkyReadResult
 from repro.simenv.environment import Simulation
@@ -189,6 +189,7 @@ class SingleCloudBackend(StorageBackend):
         self.health: CloudHealthTracker | None = (
             dispatch.make_tracker() if dispatch is not None else None
         )
+        self._ewma_estimates = bool(getattr(dispatch, "ewma_estimates", False))
 
     def _observed(self, operation):
         """Run one store operation, feeding its outcome to the health tracker.
@@ -268,13 +269,25 @@ class SingleCloudBackend(StorageBackend):
         for key in listing.keys:
             self.store.delete(key, self.principal)
 
-    def estimate_write_latency(self, num_bytes: int) -> float:
+    def _estimated(self, kind: str, num_bytes: int) -> float:
         # Deterministic expectation: estimates must not consume RNG draws (and
         # previously dropped the jitter term silently by passing no RNG).
-        return self.store.expected_request_latency("object_put", num_bytes)
+        # With ``ewma_estimates`` on, the health tracker's observed latency
+        # EWMA raises the estimate for a provider that is actually slower
+        # than its profile claims (a gray failure the profile cannot know).
+        expected = self.store.expected_request_latency(kind, num_bytes)
+        if self._ewma_estimates and self.health is not None:
+            record = self.health.health(self.store.name)
+            if (record.ewma_latency is not None
+                    and record.samples >= self.health.policy.min_samples):
+                expected = max(expected, record.ewma_latency)
+        return expected
+
+    def estimate_write_latency(self, num_bytes: int) -> float:
+        return self._estimated("object_put", num_bytes)
 
     def estimate_read_latency(self, num_bytes: int) -> float:
-        return self.store.expected_request_latency("object_get", num_bytes)
+        return self._estimated("object_get", num_bytes)
 
     def stored_bytes(self, file_id: str) -> int:
         return self.store.list_keys(self._prefix(file_id), self.principal).total_bytes
@@ -317,6 +330,7 @@ class CloudOfCloudsBackend(StorageBackend):
         policy: DispatchPolicy | None = None,
         dispatch=None,
         coalescer=None,
+        quorum=None,
     ):
         self.sim = sim
         self.principal = principal
@@ -325,9 +339,25 @@ class CloudOfCloudsBackend(StorageBackend):
         self.health: CloudHealthTracker | None = (
             dispatch.make_tracker() if dispatch is not None else None
         )
+        self._ewma_estimates = bool(getattr(dispatch, "ewma_estimates", False))
+        self._stores = {cloud.name: cloud for cloud in clouds}
+        # ``quorum`` is the agent's :class:`~repro.core.config.QuorumConfig`
+        # (or None).  In threshold mode ``system_for`` returns None and the
+        # client keeps its legacy integer counts — byte-identical dispatch.
+        system = quorum.system_for([c.name for c in clouds], f) if quorum is not None else None
+        planner = None
+        if system is not None and getattr(quorum, "planner", False):
+            planner = QuorumPlanner(
+                latency_of=lambda cloud, kind, payload: self._cloud_latency(
+                    cloud, kind, payload, ewma=True),
+                cost_of=lambda cloud, kind, payload: self._stores[
+                    cloud].costs.pricing.request_cost(kind, payload),
+                tracker=self.health,
+            )
         self.client = DepSkyClient(
             sim, clouds, principal, f=f, encrypt=encrypt, preferred_quorums=True,
             policy=policy, health=self.health, coalescer=coalescer,
+            quorum=system, planner=planner,
         )
         self.name = f"cloud-of-clouds(f={f}, n={self.client.n})"
         self.read_paths = ReadPathStats()
@@ -362,19 +392,48 @@ class CloudOfCloudsBackend(StorageBackend):
     def destroy(self, file_id: str) -> None:
         self.client.destroy_unit(file_id)
 
+    def _cloud_latency(self, cloud_name: str, kind: str, payload: int,
+                       ewma: bool) -> float:
+        """Deterministic latency estimate for one request against one cloud.
+
+        With ``ewma`` the health tracker's observed latency EWMA raises the
+        estimate above the profile expectation for providers that are actually
+        slower than their profile claims (gray failures); a *suspected*
+        provider is additionally floored at the per-request timeout — the wait
+        a call that insists on it would actually pay.
+        """
+        store = self._stores[cloud_name]
+        expected = store.expected_request_latency(kind, payload)
+        if not ewma or self.health is None:
+            return expected
+        record = self.health.health(cloud_name)
+        if (record.ewma_latency is not None
+                and record.samples >= self.health.policy.min_samples):
+            expected = max(expected, record.ewma_latency)
+        if self.health.is_suspected(cloud_name):
+            policy = self.client.policy
+            if policy is not None and policy.timeout is not None:
+                expected = max(expected, policy.timeout)
+        return expected
+
     def _expected_quorum(self, clouds: list[EventuallyConsistentStore], kind: str,
                          payload: int, required: int) -> float:
         """Expected wait of one quorum stage, computed by the dispatch engine.
 
         The requests carry deterministic expected latencies (no RNG draws, so
         estimating never perturbs the simulation's random stream) and no side
-        effects; the engine's m-th-success semantics do the rest.
+        effects; the engine's m-th-success semantics do the rest.  With
+        ``ewma_estimates`` configured, the per-cloud estimates blend in the
+        health tracker's observed EWMAs, so a known-slow provider inflates the
+        estimate exactly when the quorum cannot complete without it — and the
+        non-blocking mode's background-upload schedule routes around it.
         """
         requests = [
             QuorumRequest(
                 cloud=cloud.name,
                 send=lambda: None,
-                latency=lambda _value, cloud=cloud: cloud.expected_request_latency(kind, payload),
+                latency=lambda _value, cloud=cloud: self._cloud_latency(
+                    cloud.name, kind, payload, ewma=self._ewma_estimates),
             )
             for cloud in clouds
         ]

@@ -125,6 +125,7 @@ class SCFSDeployment:
             self.sim, self.clouds, principal,
             f=self.config.fault_tolerance, encrypt=self.config.encrypt_data,
             dispatch=self.config.dispatch, coalescer=self.coalescer,
+            quorum=self.config.quorum,
         )
 
     def create_agent(self, username: str, config: SCFSConfig | None = None,

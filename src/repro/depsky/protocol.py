@@ -84,8 +84,9 @@ from repro.clouds.dispatch import (
 #: subsequent read quorum would return, so they expire the instant-coalescing
 #: window (see :class:`~repro.clouds.dispatch.InstantCoalescer`).
 _MUTATING_OPS = frozenset({"block_put", "meta_put", "block_delete", "acl"})
-from repro.clouds.health import CloudHealthTracker
+from repro.clouds.health import CloudHealthTracker, QuorumPlanner
 from repro.clouds.object_store import ObjectStore
+from repro.clouds.quorums import QuorumSystem, min_size as quorum_min_size
 from repro.crypto.cipher import SymmetricCipher, generate_key
 from repro.crypto.erasure import CodedBlock, ErasureCoder
 from repro.crypto.hashing import content_digest
@@ -173,6 +174,20 @@ class DepSkyClient:
         every quorum call is re-planned around its suspect list (suspected
         clouds are demoted out of the primary stage and probed in the
         background) and every resolved request feeds the tracker.
+    quorum:
+        Optional :class:`~repro.clouds.quorums.QuorumSystem` replacing the
+        uniform threshold counts: write acknowledgements complete when the
+        responder set satisfies the system's *quorum* predicate, and the
+        ``f + 1`` matching-digest checks of the metadata agreement generalize
+        to the system's *certificate* predicate (a confirming set that cannot
+        consist entirely of faulty providers).  ``None`` keeps the classic
+        DepSky counts (``n - f`` / ``f + 1``) byte-identically.
+    planner:
+        Optional :class:`~repro.clouds.health.QuorumPlanner`.  When set, the
+        metadata read and the block fetch pick their primary stage as the
+        cheapest feasible quorum by expected cost × latency (the remaining
+        clouds form the fallback stage); without it the stages keep the
+        classic systematic-first ordering.
     """
 
     def __init__(
@@ -187,11 +202,17 @@ class DepSkyClient:
         policy: DispatchPolicy | None = None,
         health: CloudHealthTracker | None = None,
         coalescer: InstantCoalescer | None = None,
+        quorum: QuorumSystem | None = None,
+        planner: QuorumPlanner | None = None,
     ):
         if f < 0:
             raise ValueError("f must be non-negative")
         if len(clouds) < 3 * f + 1:
             raise ValueError(f"DepSky with f={f} needs at least {3 * f + 1} clouds, got {len(clouds)}")
+        if quorum is not None and set(quorum.universe) != {c.name for c in clouds}:
+            raise ValueError(
+                f"quorum system universe {sorted(quorum.universe)} does not "
+                f"match the deployed clouds {sorted(c.name for c in clouds)}")
         self.sim = sim
         self.clouds = list(clouds)
         self.principal = principal
@@ -203,6 +224,8 @@ class DepSkyClient:
         self.charge_latency = charge_latency
         self.policy = policy
         self.health = health
+        self.quorum = quorum
+        self.planner = planner
         #: Optional deployment-wide :class:`InstantCoalescer`: identical
         #: metadata read quorums issued in the same virtual instant (by this
         #: or any other client sharing the coalescer) are absorbed into the
@@ -272,6 +295,16 @@ class DepSkyClient:
     def _call(self) -> QuorumCall:
         return QuorumCall(self.policy, health=self.health, now=self.sim.now())
 
+    def _write_quorum(self):
+        """Ack requirement of mutating calls: a quorum predicate, or the
+        classic ``n - f`` count when no quorum system is configured."""
+        return self.quorum.quorum() if self.quorum is not None else self.n - self.f
+
+    def _certificate(self):
+        """Confirmation requirement of the metadata agreement: a certificate
+        predicate, or the classic ``f + 1`` count."""
+        return self.quorum.certificate() if self.quorum is not None else self.k
+
     def _get_request(self, cloud: ObjectStore, key: str, parse) -> QuorumRequest:
         """Build a GET request whose response must ``parse`` to count as a success.
 
@@ -295,6 +328,23 @@ class DepSkyClient:
             return self._request_latency(cloud, "object_get", transferred[0])
 
         return QuorumRequest(cloud=cloud.name, send=send, latency=latency)
+
+    def _planned_clouds(self, kind: str, payload: int,
+                        required) -> tuple[list[ObjectStore], list[ObjectStore]]:
+        """Primary/fallback split of the clouds for one read-side quorum call.
+
+        Without a :attr:`planner` every cloud sits in the primary stage (the
+        classic behaviour).  With one, the primary stage is the cheapest
+        feasible quorum by expected cost × latency and the remaining clouds
+        form a fallback stage, dispatched only when the primary round cannot
+        satisfy the predicate (or a hedge fires).
+        """
+        if self.planner is None:
+            return list(self.clouds), []
+        plan = self.planner.plan([c.name for c in self.clouds], required, kind, payload)
+        by_name = {c.name: c for c in self.clouds}
+        return ([by_name[name] for name in plan.primary],
+                [by_name[name] for name in plan.fallback])
 
     def _put_request(self, cloud: ObjectStore, key: str, blob: bytes) -> QuorumRequest:
         def send():
@@ -336,6 +386,7 @@ class DepSkyClient:
         best: DataUnitMetadata | None = None
         best_version = -1
         stats: QuorumCallStats | None = None
+        required = self._certificate()
         if self.coalescer is not None:
             # Keyed per principal: a cached agreement must never satisfy a
             # caller the clouds' access checks would have denied.
@@ -344,7 +395,7 @@ class DepSkyClient:
             if absorbed is not None:
                 blob, best_version = absorbed
                 best = DataUnitMetadata.from_bytes(blob) if blob is not None else None
-                stats = self.coalescer.absorbed(self.k)
+                stats = self.coalescer.absorbed(quorum_min_size(required))
         if stats is None:
 
             def parse(blob: bytes) -> DataUnitMetadata:
@@ -353,24 +404,41 @@ class DepSkyClient:
                 except ValueError as exc:
                     raise IntegrityError(f"unparseable metadata copy of {unit_id!r}") from exc
 
-            call = self._call().stage([self._get_request(c, key, parse) for c in self.clouds])
-            stats = call.execute(required=self.k)
+            primary, fallback = self._planned_clouds("object_get", 0, required)
+            call = self._call().stage([self._get_request(c, key, parse) for c in primary])
+            if fallback:
+                call.stage([self._get_request(c, key, parse) for c in fallback])
+            stats = call.execute(required=required)
             self._tap("meta_read", unit_id, stats)
             copies = [trace.value[0] for trace in stats.successes]
             if copies:
-                # Count confirmations of each (version, digest) pair across clouds.
-                confirmations: dict[tuple[int, str], int] = {}
-                for copy in copies:
-                    for record in copy.versions:
+                # Collect, per (version, digest) pair, the clouds confirming it.
+                confirmations: dict[tuple[int, str], list[str]] = {}
+                for trace in stats.successes:
+                    for record in trace.value[0].versions:
                         pair = (record.version, record.data_digest)
-                        confirmations[pair] = confirmations.get(pair, 0) + 1
-                agreed_pairs = {pair for pair, count in confirmations.items() if count >= self.k}
+                        confirmations.setdefault(pair, []).append(trace.cloud)
+                if self.quorum is None:
+                    # Classic DepSky: f + 1 matching copies certify a version.
+                    agreed_pairs = {pair for pair, confirmed in confirmations.items()
+                                    if len(confirmed) >= self.k}
+                    # Fewer copies than any certificate: accept a self-consistent
+                    # copy (a unit too young to have propagated everywhere).
+                    scarce = len(copies) < self.k
+                else:
+                    # Generalized: a pair is authentic when its confirming set
+                    # is a quorum-intersection certificate (cannot consist
+                    # entirely of faulty providers).
+                    agreed_pairs = {pair for pair, confirmed in confirmations.items()
+                                    if self.quorum.certifies(confirmed)}
+                    scarce = not self.quorum.certifies(
+                        [trace.cloud for trace in stats.successes])
                 for copy in copies:
                     latest = copy.latest()
                     if latest is None:
                         continue
                     pair = (latest.version, latest.data_digest)
-                    if (pair in agreed_pairs or len(copies) < self.k) and latest.version > best_version:
+                    if (pair in agreed_pairs or scarce) and latest.version > best_version:
                         best, best_version = copy, latest.version
                 best = best or copies[0]
             if coalesce_key is not None:
@@ -502,7 +570,7 @@ class DepSkyClient:
         # The remaining clouds form a fallback stage, dispatched only when a
         # preferred cloud fails (or a hedge fires): the spill-over.
         data_targets = self.n - self.f if self.preferred_quorums else self.n
-        required_acks = self.n - self.f
+        required_acks = self._write_quorum()
         call = self._call().stage([block_put(i) for i in range(data_targets)])
         if data_targets < self.n:
             call.stage([block_put(i) for i in range(data_targets, self.n)])
@@ -511,19 +579,19 @@ class DepSkyClient:
         if not put_stats.reached:
             raise QuorumNotReachedError(
                 f"only {len(put_stats.successes)} clouds acknowledged the data blocks of {unit_id!r}",
-                responses=len(put_stats.successes), required=required_acks,
+                responses=len(put_stats.successes), required=quorum_min_size(required_acks),
             )
         self._charge(put_stats)
 
         meta_call = self._call().stage(
             [self._put_request(c, self._meta_key(unit_id), meta_blob) for c in self.clouds]
         )
-        meta_put_stats = meta_call.execute(required=self.n - self.f)
+        meta_put_stats = meta_call.execute(required=self._write_quorum())
         self._tap("meta_put", unit_id, meta_put_stats)
         if not meta_put_stats.reached:
             raise QuorumNotReachedError(
                 f"only {len(meta_put_stats.successes)} clouds acknowledged the metadata of {unit_id!r}",
-                responses=len(meta_put_stats.successes), required=self.n - self.f,
+                responses=len(meta_put_stats.successes), required=quorum_min_size(self._write_quorum()),
             )
         self._charge(meta_put_stats)
         self._last_written[unit_id] = (
@@ -563,12 +631,31 @@ class DepSkyClient:
         clouds holding parity blocks form the fallback stage, dispatched when
         the preferred round cannot deliver ``k`` verified blocks — or earlier,
         as hedged backup requests, when the policy sets a ``hedge_delay``.
+
+        With a :attr:`planner` attached, the primary stage is instead the
+        cheapest feasible ``k``-set by expected cost × latency among the
+        block-holding clouds (a degraded or expensive systematic cloud is
+        planned around rather than hedged after the fact); the decode handles
+        any ``k`` rows, so planning only shifts *which* blocks are fetched.
         """
+        # With preferred quorums only the first n - f clouds hold data blocks
+        # (spill-over aside), so the planner must not pick the block-less tail.
+        holders = self.n - self.f if self.preferred_quorums else self.n
+        primary = list(range(self.k))
+        fallback = list(range(self.k, self.n))
+        if self.planner is not None:
+            plan = self.planner.plan(
+                [self.clouds[i].name for i in range(holders)], self.k,
+                "object_get", max(1, record.size // self.k))
+            index_of = {self.clouds[i].name: i for i in range(self.n)}
+            primary = [index_of[name] for name in plan.primary]
+            fallback = ([index_of[name] for name in plan.fallback]
+                        + list(range(holders, self.n)))
         call = self._call().stage(
-            [self._block_get_request(unit_id, record, i) for i in range(self.k)]
+            [self._block_get_request(unit_id, record, i) for i in primary]
         )
-        if self.k < self.n:
-            call.stage([self._block_get_request(unit_id, record, i) for i in range(self.k, self.n)])
+        if fallback:
+            call.stage([self._block_get_request(unit_id, record, i) for i in fallback])
         stats = call.execute(required=self.k)
         self._tap("block_get", unit_id, stats)
         return stats
@@ -688,14 +775,14 @@ class DepSkyClient:
 
         delete_stats = self._call().stage(
             [delete_request(i) for i in range(self.n)]
-        ).execute(required=self.n - self.f)
+        ).execute(required=self._write_quorum())
         self._tap("block_delete", unit_id, delete_stats)
         self._charge(delete_stats)
         if metadata is not None and metadata.remove_version(version):
             blob = metadata.to_bytes()
             put_stats = self._call().stage(
                 [self._put_request(c, self._meta_key(unit_id), blob) for c in self.clouds]
-            ).execute(required=self.n - self.f)
+            ).execute(required=self._write_quorum())
             self._tap("meta_put", unit_id, put_stats)
             self._charge(put_stats)
             if put_stats.reached:
@@ -749,7 +836,7 @@ class DepSkyClient:
 
         stats = self._call().stage(
             [acl_request(c) for c in self.clouds]
-        ).execute(required=self.n - self.f)
+        ).execute(required=self._write_quorum())
         self._tap("acl", unit_id, stats)
         self._charge(stats)
 

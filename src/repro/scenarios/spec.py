@@ -23,16 +23,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.core.config import CacheConfig, DispatchPolicyConfig, GarbageCollectionPolicy, SCFSConfig
+from repro.core.config import (
+    CacheConfig,
+    DispatchPolicyConfig,
+    GarbageCollectionPolicy,
+    QuorumConfig,
+    SCFSConfig,
+)
 from repro.simenv.environment import derive_rng
 from repro.simenv.failures import FaultKind
 
-#: The four fault mixes swept by ``tests/scenarios/test_random_scenarios.py``.
+#: The fault mixes swept by ``tests/scenarios/test_random_scenarios.py``.
+#: New mixes are appended (each mix derives its own RNG stream, so appending
+#: never shifts the faults — or the pinned replay fingerprints — of the rest).
 FAULT_MIXES: tuple[str, ...] = (
     "fault-free",
     "crash-hang",
     "corrupt-byzantine",
     "degraded-outage",
+    "weighted-byzantine",
 )
 
 #: Agent names, in creation order (index into this for the i-th agent).
@@ -130,6 +139,8 @@ class ScenarioSpec:
     metadata_expiration: float = 0.5
     #: Dispatch/health knobs (None = plain staged dispatch, no suspicion).
     dispatch: DispatchPolicyConfig | None = None
+    #: Quorum-system selection (None = the paper's threshold quorums).
+    quorum: QuorumConfig | None = None
     #: How agents interleave: "lockstep" (the classic global-RNG round robin)
     #: or "event-driven" (each agent is a task on the simulation's event heap).
     scheduling: str = "lockstep"
@@ -186,6 +197,8 @@ class ScenarioSpec:
         }
         if self.dispatch is not None:
             overrides["dispatch"] = self.dispatch
+        if self.quorum is not None:
+            overrides["quorum"] = self.quorum
         config = SCFSConfig.for_variant(self.variant, **overrides)
         if self.pooled:
             # Primed files share one plaintext pool payload; disabling the
@@ -229,10 +242,10 @@ class ScenarioSpec:
             AgentSpec(name=agent_name(i), ops=ops_per_agent) for i in range(agents)
         )
         files = tuple(f"/shared/file-{i}.dat" for i in range(shared_files))
-        faults, dispatch = _faults_for_mix(mix, rng)
+        faults, dispatch, quorum = _faults_for_mix(mix, rng)
         spec = cls(
             seed=seed, mix=mix, variant=variant, agents=agent_specs,
-            faults=faults, shared_files=files, dispatch=dispatch,
+            faults=faults, shared_files=files, dispatch=dispatch, quorum=quorum,
         )
         spec.validate()
         return spec
@@ -265,7 +278,7 @@ class ScenarioSpec:
         paths = tuple(
             f"/pool-{i % directories}/file-{i}.dat" for i in range(files)
         )
-        faults, dispatch = _faults_for_mix(mix, rng)
+        faults, dispatch, quorum = _faults_for_mix(mix, rng)
         # Scale runs coalesce identical same-instant metadata read quorums —
         # the batching half of the scale-out work (regular mixes leave it off
         # to keep their replay fingerprints stable).
@@ -273,7 +286,7 @@ class ScenarioSpec:
                     else DispatchPolicyConfig(coalesce_instant=True))
         spec = cls(
             seed=seed, mix=mix, variant="SCFS-CoC-NB", agents=agent_specs,
-            faults=faults, shared_files=paths, dispatch=dispatch,
+            faults=faults, shared_files=paths, dispatch=dispatch, quorum=quorum,
             scheduling="event-driven", pooled=True, partitions=partitions,
         )
         spec.validate()
@@ -296,8 +309,9 @@ def _two_clouds(rng, n: int = 4) -> tuple[int, int]:
 
 
 def _faults_for_mix(mix: str, rng) -> tuple[tuple[FaultPhase, ...],
-                                            DispatchPolicyConfig | None]:
-    """Build the fault phases (and dispatch config) of one named mix.
+                                            DispatchPolicyConfig | None,
+                                            QuorumConfig | None]:
+    """Build the fault phases (and dispatch/quorum configs) of one named mix.
 
     Windows of *failing* kinds (unavailable, corruption, byzantine,
     drop-writes, and timed-out hangs) are kept disjoint in op-fraction space
@@ -305,7 +319,7 @@ def _faults_for_mix(mix: str, rng) -> tuple[tuple[FaultPhase, ...],
     DEGRADED windows may overlap anything.
     """
     if mix == "fault-free":
-        return (), None
+        return (), None, None
 
     if mix == "crash-hang":
         crashed, hung = _two_clouds(rng)
@@ -321,7 +335,7 @@ def _faults_for_mix(mix: str, rng) -> tuple[tuple[FaultPhase, ...],
             FaultPhase(f"replica:{replica}", "crash",
                        start_frac=rng.uniform(0.20, 0.40),
                        end_frac=rng.uniform(0.60, 0.80)),
-        ), None
+        ), None, None
 
     if mix == "corrupt-byzantine":
         # One *persistently adversarial* cloud misbehaves in three different
@@ -345,7 +359,7 @@ def _faults_for_mix(mix: str, rng) -> tuple[tuple[FaultPhase, ...],
             FaultPhase(f"replica:{replica}", "byzantine",
                        start_frac=rng.uniform(0.25, 0.45),
                        end_frac=rng.uniform(0.55, 0.75)),
-        ), None
+        ), None, None
 
     if mix == "degraded-outage":
         # Exercise the PR 2/3 dispatch + health stack: per-request timeouts,
@@ -365,6 +379,46 @@ def _faults_for_mix(mix: str, rng) -> tuple[tuple[FaultPhase, ...],
                        start_frac=rng.uniform(0.55, 0.65),
                        end_frac=rng.uniform(0.80, 0.92),
                        factor=rng.uniform(4.0, 8.0)),
-        ), dispatch
+        ), dispatch, None
+
+    if mix == "weighted-byzantine":
+        # The weighted-quorum mix: the *heaviest* provider turns adversarial.
+        # Weights model unequal provider trust (amazon-s3 carries 1.2, the
+        # rest 1.0) with a fault budget of 1.2 — the heavy provider alone may
+        # misbehave, yet no single cloud, however heavy, can certify a version
+        # by itself (the certificate bar sits exactly at the budget).  The
+        # adversary corrupts data at rest early and turns fully Byzantine
+        # later (disjoint windows, one adversarial cloud: f-budget intact);
+        # a light provider gray-fails on top and a coordination replica turns
+        # Byzantine, so the weighted certificates are exercised while both
+        # suspicion tracking and EWMA-fed latency estimates are live.
+        light = 1 + rng.randrange(3)
+        replica = rng.randrange(4)
+        quorum = QuorumConfig(
+            mode="weighted",
+            weights=(("amazon-s3", 1.2), ("google-storage", 1.0),
+                     ("rackspace-files", 1.0), ("windows-azure", 1.0)),
+            fault_budget=1.2,
+        )
+        dispatch = DispatchPolicyConfig(
+            timeout=8.0, retries=1,
+            suspicion_threshold=2, probe_backoff=5.0, probe_backoff_factor=2.0,
+            probe_backoff_max=60.0, ewma_estimates=True,
+        )
+        return (
+            FaultPhase("cloud:0", FaultKind.CORRUPTION.value,
+                       start_frac=rng.uniform(0.10, 0.18),
+                       end_frac=rng.uniform(0.28, 0.38)),
+            FaultPhase("cloud:0", FaultKind.BYZANTINE.value,
+                       start_frac=rng.uniform(0.46, 0.54),
+                       end_frac=rng.uniform(0.64, 0.76)),
+            FaultPhase(f"cloud:{light}", FaultKind.DEGRADED.value,
+                       start_frac=rng.uniform(0.55, 0.65),
+                       end_frac=rng.uniform(0.80, 0.92),
+                       factor=rng.uniform(4.0, 8.0)),
+            FaultPhase(f"replica:{replica}", "byzantine",
+                       start_frac=rng.uniform(0.25, 0.45),
+                       end_frac=rng.uniform(0.55, 0.75)),
+        ), dispatch, quorum
 
     raise ValueError(f"unknown fault mix {mix!r}")

@@ -23,6 +23,8 @@ GOLDEN_LOCKSTEP = {
     "crash-hang": "fda090321762f2602bda5a7d7a5a17027c64096861b364090f34ddbe10fedae6",
     "corrupt-byzantine": "17fce7b259e95635df43352455bf11c56be2d8ff112e0176f45cd422c3b387b8",
     "degraded-outage": "86299db26465e31ba786ee51b536ed18e98ada47c901eecb49a79a35430e971a",
+    # Recorded at PR 8 together with the weighted-quorum mix itself.
+    "weighted-byzantine": "acc0ae4d0ad0f353da3874040c787b7d0623f52d4f8e1c959fbc9acbc66d8de3",
 }
 
 

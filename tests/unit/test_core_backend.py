@@ -12,6 +12,7 @@ from repro.core.consistency import (
     DictConsistencyAnchor,
 )
 from repro.coordination.adapters import make_coordination_service
+from repro.core.config import DispatchPolicyConfig
 from repro.crypto.hashing import content_digest
 
 
@@ -127,6 +128,55 @@ class TestCloudOfCloudsOverhead:
         clouds = make_cloud_of_clouds(sim)
         backend = CloudOfCloudsBackend(sim, clouds, alice, f=1)
         assert backend.storage_overhead() == pytest.approx(2.0)
+
+
+class TestEwmaLatencyEstimates:
+    """``ewma_estimates`` blends observed health EWMAs into the estimates.
+
+    Profiles describe how a provider *should* behave; a gray-failing provider
+    is slower than its profile claims, and only the health tracker's observed
+    latency EWMA knows it.  With the knob on, the estimates (which drive the
+    non-blocking mode's background-upload schedule) follow the observation;
+    with it off they stay pinned to the profile.
+    """
+
+    def _warm(self, backend, names, latency, now):
+        for name in names:
+            for _ in range(backend.health.policy.min_samples):
+                backend.health.observe(name, succeeded=True, latency=latency, now=now)
+
+    def test_single_cloud_estimates_follow_the_observed_ewma(self, sim, alice):
+        store = make_provider(sim, "amazon-s3", charge_latency=True)
+        backend = SingleCloudBackend(
+            sim, store, alice,
+            dispatch=DispatchPolicyConfig(suspicion_threshold=3, ewma_estimates=True))
+        baseline_read = backend.estimate_read_latency(1024)
+        baseline_write = backend.estimate_write_latency(1024)
+        slow = 100.0 * max(baseline_read, baseline_write)
+        self._warm(backend, [store.name], slow, sim.now())
+        assert backend.estimate_read_latency(1024) == pytest.approx(slow)
+        assert backend.estimate_write_latency(1024) == pytest.approx(slow)
+
+    def test_estimates_stay_on_the_profile_with_the_knob_off(self, sim, alice):
+        store = make_provider(sim, "amazon-s3", charge_latency=True)
+        backend = SingleCloudBackend(
+            sim, store, alice,
+            dispatch=DispatchPolicyConfig(suspicion_threshold=3))
+        baseline = backend.estimate_read_latency(1024)
+        self._warm(backend, [store.name], 100.0 * baseline, sim.now())
+        assert backend.estimate_read_latency(1024) == pytest.approx(baseline)
+
+    def test_cloud_of_clouds_estimates_see_gray_slow_providers(self, sim, alice):
+        clouds = make_cloud_of_clouds(sim)
+        backend = CloudOfCloudsBackend(
+            sim, clouds, alice, f=1,
+            dispatch=DispatchPolicyConfig(suspicion_threshold=3, ewma_estimates=True))
+        baseline = backend.estimate_read_latency(64 * 1024)
+        # Every provider is observed far slower than its profile: the quorum
+        # estimate cannot avoid the gray slowness and must rise above it.
+        self._warm(backend, [c.name for c in clouds], 10.0 * baseline, sim.now())
+        assert backend.estimate_read_latency(64 * 1024) >= 10.0 * baseline
+        assert backend.estimate_write_latency(64 * 1024) >= 10.0 * baseline
 
 
 class TestConsistencyAnchor:
