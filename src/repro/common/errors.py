@@ -82,6 +82,22 @@ class NotLockOwnerError(CoordinationError):
     """An unlock was attempted by a session that does not own the lock."""
 
 
+class TransactionError(CoordinationError):
+    """Base class for errors raised by the transactional commit layer."""
+
+
+class TransactionConflictError(TransactionError):
+    """One commit attempt failed (lock contention or validation/CAS mismatch).
+
+    Retryable: :meth:`~repro.transactions.TransactionManager.run` catches it
+    and re-executes the transaction body after a bounded backoff.
+    """
+
+
+class TransactionAbortedError(TransactionError):
+    """The transaction gave up (retry budget exhausted or explicit abort)."""
+
+
 class QuorumNotReachedError(ReproError):
     """Fewer than the required number of replicas/clouds answered."""
 

@@ -103,6 +103,19 @@ class LockManager:
         """True if this manager currently believes it holds ``name``."""
         return name in self.held
 
+    def still_held(self, name: str) -> bool:
+        """True when the coordination service still shows this session as holder.
+
+        Both concrete services time lock leases from the *acquisition*: a
+        holder that stays busy past ``lease_seconds`` loses the lock silently
+        while :meth:`holds` keeps returning True.  Commit paths re-check here
+        before irreversible steps, turning a stolen lock into a clean abort
+        instead of a version fork.
+        """
+        if name not in self.held:
+            return False
+        return self.service.lock_holder(name) == self.session.session_id
+
     def hold_count(self, name: str) -> int:
         """Number of outstanding acquisitions of ``name`` by this session."""
         return self.held.get(name, 0)

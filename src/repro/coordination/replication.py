@@ -91,6 +91,7 @@ class ReplicatedStateMachine:
         self.charge_latency = charge_latency
         self._crashed: set[int] = set()
         self._byzantine: set[int] = set()
+        self._partitioned: set[int] = set()
         self.commands_executed = 0
 
     # -- fault injection ------------------------------------------------------
@@ -118,11 +119,24 @@ class ReplicatedStateMachine:
                 self.replicas[index] = copy.deepcopy(self.replicas[correct[0]])
         self._crashed.discard(index)
         self._byzantine.discard(index)
+        self._partitioned.discard(index)
 
     def make_byzantine(self, index: int) -> None:
         """Mark replica ``index`` as Byzantine (it may answer arbitrarily)."""
         self._check_index(index)
         self._byzantine.add(index)
+
+    def partition_replica(self, index: int) -> None:
+        """Cut replica ``index`` off from the clients (a minority partition).
+
+        To the protocol a partitioned replica is indistinguishable from a
+        crashed one — it receives no commands and contributes no replies —
+        but its *state* is intact: it simply falls behind.  Healing goes
+        through :meth:`recover_replica`, whose state transfer is exactly how
+        a partitioned replica catches up with the commands it missed.
+        """
+        self._check_index(index)
+        self._partitioned.add(index)
 
     def _check_index(self, index: int) -> None:
         if not 0 <= index < self.n:
@@ -130,8 +144,8 @@ class ReplicatedStateMachine:
 
     @property
     def faulty_replicas(self) -> set[int]:
-        """Indices of replicas currently crashed or Byzantine."""
-        return self._crashed | self._byzantine
+        """Indices of replicas currently crashed, Byzantine or partitioned."""
+        return self._crashed | self._byzantine | self._partitioned
 
     @property
     def correct_replicas(self) -> list[int]:

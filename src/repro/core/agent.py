@@ -57,8 +57,9 @@ from repro.core.pns import PrivateNameSpace
 from repro.core.storage_service import StorageService
 from repro.core.users import UserRegistry
 from repro.crypto.hashing import content_digest
-from repro.simenv.environment import Simulation
+from repro.simenv.environment import Simulation, TaskHandle
 from repro.simenv.latency import FUSE_OVERHEAD
+from repro.transactions.manager import Transaction, TransactionManager
 
 
 class OpenFlags(enum.Flag):
@@ -147,9 +148,14 @@ class SCFSAgent:
         #: later version must not overtake and then be clobbered by an earlier
         #: bigger one committing its metadata last).
         self._upload_fronts: dict[str, float] = {}
+        #: Scheduled completion of each in-flight background commit, keyed by
+        #: the open-file handle: :meth:`flush_pending` runs them early and
+        #: :meth:`crash` cancels them without releasing anything.
+        self._pending_tasks: dict[int, tuple[TaskHandle, Callable[[], None]]] = {}
         #: (file, user) pairs whose cloud-side ACL this agent already re-applied.
         self._acl_propagated: set[str] = set()
         self._mounted = False
+        self._crashed = False
 
         # -- sessions and registries ----------------------------------------
         self.session = None
@@ -183,6 +189,11 @@ class SCFSAgent:
         self.locks = LockService(sim, self.coordination, self.session)
         self.locks.on_transition = self._lock_transition
         self.gc = GarbageCollector(sim, config.gc, self.metadata, self.storage, backend)
+
+        # -- transactional commit layer (needs the consistency anchor) ---------
+        self.transactions: TransactionManager | None = (
+            TransactionManager(self) if self.coordination is not None else None
+        )
 
         self.mount()
 
@@ -557,6 +568,9 @@ class SCFSAgent:
         self.metadata_cache.put(meta.path, meta.copy())
 
         def complete() -> None:
+            self._pending_tasks.pop(of.handle, None)
+            if self._crashed:
+                return
             self.stats.pending_uploads -= 1
             self.stats.background_uploads += 1
             if of in self._pending_commits:
@@ -574,7 +588,8 @@ class SCFSAgent:
                 if of.locked:
                     self.locks.release(of.metadata)
 
-        self.sim.schedule(delay, complete, name=f"upload:{meta.path}")
+        task = self.sim.schedule(delay, complete, name=f"upload:{meta.path}")
+        self._pending_tasks[of.handle] = (task, complete)
 
     @contextlib.contextmanager
     def _coordination_uncharged(self):
@@ -631,6 +646,87 @@ class SCFSAgent:
     def _update_metadata_uncharged(self, meta: FileMetadata) -> None:
         with self._coordination_uncharged():
             self.metadata.update(meta)
+
+    # ------------------------------------------------------------ transactions
+
+    def flush_pending(self, path: str) -> None:
+        """Run the in-flight background commits of ``path`` to completion now.
+
+        The transactional layer calls this before touching a file: a pending
+        non-blocking close would otherwise anchor its version *after* the
+        transaction's CAS with an unconditional update, clobbering it.
+        Completing the upload early just means "it finished by now" — the
+        flush point is itself a deterministic function of the schedule, so
+        replay determinism is preserved.
+        """
+        path = normalize_path(path)
+        for pending in [of for of in list(self._pending_commits)
+                        if of.metadata.path == path]:
+            entry = self._pending_tasks.pop(pending.handle, None)
+            if entry is None:
+                continue
+            task, run_now = entry
+            task.cancel()
+            run_now()
+
+    def begin_transaction(self) -> Transaction:
+        """Start a multi-file transaction (see :mod:`repro.transactions`)."""
+        if self.transactions is None:
+            raise FileSystemError("transactions require a coordination service")
+        return self.transactions.begin()
+
+    def run_transaction(self, body: Callable[[Transaction], Any]) -> Any:
+        """Run ``body(txn)`` with commit-conflict retries (bounded backoff)."""
+        if self.transactions is None:
+            raise FileSystemError("transactions require a coordination service")
+        return self.transactions.run(body)
+
+    def write_files(self, items: dict[str, bytes]) -> None:
+        """Atomically replace the contents of several existing files.
+
+        The batched close-commit: one lock phase, one intent record, one
+        commit — either every file shows its new content or none does.
+        """
+        ordered = sorted(items.items())
+
+        def body(txn: Transaction) -> None:
+            for path, data in ordered:
+                txn.write(path, data)
+
+        self.run_transaction(body)
+
+    def rename_tree(self, old_path: str, new_path: str) -> None:
+        """Atomically rename a file or a whole directory tree.
+
+        With a coordination service this is a locked, intent-logged
+        transaction (no concurrent close can resurrect the old path half-way
+        through); without one (non-sharing mode) the plain single-agent
+        rename is already atomic.
+        """
+        if self.transactions is None:
+            self.rename(old_path, new_path)
+            return
+        self.transactions.rename_tree(old_path, new_path)
+
+    # ------------------------------------------------------------------- crash
+
+    def crash(self) -> None:
+        """Simulate a hard process crash of this agent.
+
+        All volatile state is dropped: open handles disappear, scheduled
+        background commits never run, and — critically — no lock is released
+        and the coordination session is *not* closed.  Locks held at crash
+        time expire on their own when their lease runs out, which is exactly
+        the takeover window the crash/restart scenarios exercise.
+        """
+        self._crashed = True
+        for task, _run in self._pending_tasks.values():
+            task.cancel()
+        self._pending_tasks.clear()
+        self._pending_commits.clear()
+        self._handles.clear()
+        self.stats.pending_uploads = 0
+        self._mounted = False
 
     # -------------------------------------------------------------- namespace
 

@@ -288,6 +288,41 @@ class QuorumConfig:
 
 
 @dataclass(frozen=True)
+class TransactionConfig:
+    """Knobs of the transactional commit layer (``repro.transactions``).
+
+    A transaction commit is optimistic: reads record the version they saw, and
+    the commit re-validates them under the file locks before the per-file
+    version CAS.  A failed attempt raises
+    :class:`~repro.common.errors.TransactionConflictError`;
+    :meth:`~repro.transactions.TransactionManager.run` retries the whole body
+    with bounded exponential backoff before giving up with
+    :class:`~repro.common.errors.TransactionAbortedError`.
+    """
+
+    #: Total commit attempts of :meth:`TransactionManager.run` (first try
+    #: included) before the transaction aborts.
+    max_attempts: int = 4
+    #: Backoff before the first retry, in simulated seconds.
+    backoff: float = 0.2
+    #: Multiplier applied to the backoff after each failed attempt.
+    backoff_factor: float = 2.0
+    #: Upper bound of the backoff.
+    backoff_max: float = 5.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical retry knobs."""
+        if self.max_attempts < 1:
+            raise ConfigurationError("a transaction needs at least one commit attempt")
+        if self.backoff < 0:
+            raise ConfigurationError("the transaction backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("the transaction backoff factor must be >= 1")
+        if self.backoff_max < self.backoff:
+            raise ConfigurationError("the transaction backoff cap is below the initial backoff")
+
+
+@dataclass(frozen=True)
 class SCFSConfig:
     """Full configuration of one SCFS agent."""
 
@@ -312,6 +347,8 @@ class SCFSConfig:
     #: Quorum-system structure of the CoC backend (threshold/weighted/explicit);
     #: the default threshold mode keeps the legacy integer-count quorums.
     quorum: QuorumConfig = field(default_factory=QuorumConfig)
+    #: Retry/backoff policy of the transactional commit layer.
+    transactions: TransactionConfig = field(default_factory=TransactionConfig)
     #: Lease of coordination-service sessions/locks in seconds.
     lock_lease: float = 30.0
     #: Interval between retries of the consistency-anchor read loop (Figure 3, r2).
@@ -325,6 +362,7 @@ class SCFSConfig:
         self.gc.validate()
         self.dispatch.validate()
         self.quorum.validate()
+        self.transactions.validate()
         if self.fault_tolerance < 0:
             raise ConfigurationError("fault tolerance must be non-negative")
         if self.quorum.enabled and self.backend is not BackendKind.COC:

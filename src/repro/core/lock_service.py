@@ -101,3 +101,14 @@ class LockService:
     def holds(self, metadata: FileMetadata) -> bool:
         """True if this agent currently holds the write lock of ``metadata``."""
         return self._manager is not None and self._manager.holds(self.lock_name(metadata))
+
+    def still_held(self, metadata: FileMetadata) -> bool:
+        """True when the coordination service still shows this agent as holder.
+
+        Unlike :meth:`holds` (local bookkeeping), this asks the service — a
+        lease may have expired under a long-running holder.  Always True with
+        locking disabled (nothing can be stolen without a lock service).
+        """
+        if self._manager is None:
+            return True
+        return self._manager.still_held(self.lock_name(metadata))

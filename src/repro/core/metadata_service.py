@@ -116,6 +116,30 @@ class MetadataService:
         parent = parent_path(path)
         return parent != path and self.pns.contains(parent)
 
+    def lookup_versioned(self, path: str) -> tuple[FileMetadata, int] | None:
+        """Authoritative lookup returning ``(metadata, entry_version)``.
+
+        The entry version is the coordination service's own version counter of
+        the metadata tuple — the token :meth:`update_cas` compares against.
+        Only shared (coordination-anchored) entries have one; private/PNS
+        entries return ``None`` (transactions require the anchor).
+        """
+        path = normalize_path(path)
+        if self.coordination is None or (self.pns is not None and self.pns.contains(path)):
+            return None
+        try:
+            entry = self.coordination.get(self.entry_key(path), self.session)
+            self.coordination_reads += 1
+        except TupleNotFoundError:
+            self.coordination_reads += 1
+            return None
+        except ConflictError as exc:
+            self.coordination_reads += 1
+            raise PermissionDeniedError(str(exc)) from exc
+        meta = FileMetadata.from_bytes(entry.value)
+        self.cache.put(path, meta.copy())
+        return meta, entry.version
+
     def get(self, path: str, use_cache: bool = True) -> FileMetadata:
         """Like :meth:`lookup` but raises ``FileNotFoundErrorFS`` when absent."""
         meta = self.lookup(path, use_cache=use_cache)
@@ -181,6 +205,29 @@ class MetadataService:
                 f"{self.principal.name} may not modify metadata of {metadata.path}"
             )
         self._store(metadata, private=self.is_private(metadata))
+
+    def update_cas(self, metadata: FileMetadata, expected_version: int) -> None:
+        """Persist an updated tuple iff its entry version is still ``expected_version``.
+
+        The conditional form of :meth:`update` used by the transactional
+        commit layer: the coordination service applies the put only when the
+        entry's version counter still matches the one
+        :meth:`lookup_versioned` observed, and raises
+        :class:`~repro.common.errors.ConflictError` otherwise.  This is the
+        per-file version CAS that prevents a lock-lease usurper and the
+        original holder from both anchoring the same version (a fork).
+        """
+        if not metadata.allows(self.principal.name, Permission.WRITE):
+            raise PermissionDeniedError(
+                f"{self.principal.name} may not modify metadata of {metadata.path}"
+            )
+        if self.coordination is None:
+            raise PermissionDeniedError(
+                "conditional metadata updates require a coordination service")
+        self.coordination.put(self.entry_key(metadata.path), metadata.to_bytes(),
+                              self.session, expected_version=expected_version)
+        self.coordination_writes += 1
+        self.cache.put(metadata.path, metadata.copy())
 
     def remove(self, path: str) -> None:
         """Erase a metadata entry (used by rmdir, rename and the garbage collector)."""

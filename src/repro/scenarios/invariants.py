@@ -20,6 +20,19 @@ checkers correspond to the paper's headline guarantees:
 4. **Commit ordering** (§3.1) — the non-blocking (and blocking) close pushes
    the data to the cloud(s) *before* the metadata update, and releases the
    write lock only *after* the metadata update, for every version.
+5. **Serializability** (the transactional layer) — the committed history,
+   reconstructed from the ``txn_commit`` events plus every plain ``commit``
+   (a write-only singleton transaction), has an acyclic read-from /
+   write-order / anti-dependency graph; no version has two writers and no
+   committed transaction is torn.
+6. **Version linearizability** (the coordination anchor) — per file, the
+   anchored version sequence is strictly increasing and gapless in history
+   order: the metadata entry behaves as a linearizable CAS register.
+
+Crash semantics: an ``agent_crash`` event marks everything the agent closed
+but had not committed as legitimately lost (the documented non-blocking data
+loss window), and lock takeovers after the crashed holder's lease expired are
+legal (``lock_lease`` below).
 
 Checkers never mutate the deployment; the durability checker's end-to-end
 read runs through an uncharged DepSky client, so it neither advances the
@@ -59,6 +72,45 @@ class Violation:
 
 
 # ---------------------------------------------------------------------------
+# crash bookkeeping shared by several checkers
+# ---------------------------------------------------------------------------
+
+
+def _crash_filter(trace: TraceRecorder):
+    """``lost(event) -> bool`` for closes wiped out by an agent crash.
+
+    A dirty close whose agent crashed before the matching commit landed is
+    the documented non-blocking data-loss window, not a violation: its
+    version was never anchored, so no guarantee attaches to it.
+    """
+    crash_times: dict[str, list[float]] = {}
+    for event in trace.by_kind("agent_crash"):
+        crash_times.setdefault(event.agent, []).append(event.time)
+    if not crash_times:
+        return lambda event: False
+    commit_times: dict[tuple, list[float]] = {}
+    for e in trace.by_kind("commit"):
+        key = (e.agent, e.get("file_id"), e.get("version"))
+        commit_times.setdefault(key, []).append(e.time)
+
+    def lost(event) -> bool:
+        crashes = [t for t in crash_times.get(event.agent, ())
+                   if t >= event.time]
+        if not crashes:
+            return False
+        # The close survives only if its commit landed before the crash that
+        # follows it.  A commit of the same (agent, file, version) *after* a
+        # restart is a different, re-issued write — it does not resurrect the
+        # close that the crash wiped out.
+        wiped_at = min(crashes)
+        key = (event.agent, event.get("file_id"), event.get("version"))
+        return not any(event.time <= t <= wiped_at
+                       for t in commit_times.get(key, ()))
+
+    return lost
+
+
+# ---------------------------------------------------------------------------
 # 1. consistency-on-close
 # ---------------------------------------------------------------------------
 
@@ -73,6 +125,7 @@ def check_consistency_on_close(trace: TraceRecorder,
     legitimately hide anything younger).
     """
     violations: list[Violation] = []
+    lost_in_crash = _crash_filter(trace)
     # (file_id) -> list of committed (time, version); (file_id, version) -> digest.
     commits: dict[str, list[tuple[float, int]]] = {}
     digest_of: dict[tuple[str, int], str] = {}
@@ -81,6 +134,8 @@ def check_consistency_on_close(trace: TraceRecorder,
         version = event.get("version")
         digest = event.get("digest")
         if not fid or not digest:
+            continue
+        if event.kind == "close" and lost_in_crash(event):
             continue
         known = digest_of.setdefault((fid, version), digest)
         if known != digest:
@@ -134,23 +189,31 @@ def check_consistency_on_close(trace: TraceRecorder,
 # ---------------------------------------------------------------------------
 
 
-def check_mutual_exclusion(trace: TraceRecorder) -> list[Violation]:
-    """At most one agent holds the write lock of a file at any instant."""
+def check_mutual_exclusion(trace: TraceRecorder,
+                           lock_lease: float = float("inf")) -> list[Violation]:
+    """At most one agent holds the write lock of a file at any instant.
+
+    ``lock_lease`` is the deployment's lease: both coordination services time
+    lock leases from the acquisition, so a takeover at least ``lock_lease``
+    seconds after the holder's acquisition is the lock service working as
+    designed (the crashed-holder recovery path), not a violation.
+    """
     violations: list[Violation] = []
-    holder: dict[str, str] = {}
+    holder: dict[str, tuple[str, float]] = {}
     for event in trace.by_kind("lock", "unlock"):
         name = event.get("lock")
         if event.kind == "lock":
             current = holder.get(name)
-            if current is not None and current != event.agent:
+            if (current is not None and current[0] != event.agent
+                    and event.time < current[1] + lock_lease):
                 violations.append(Violation(
                     "mutual-exclusion",
-                    f"{event.agent} acquired {name} while {current} still held it",
+                    f"{event.agent} acquired {name} while {current[0]} still held it",
                     seq=event.seq,
                 ))
-            holder[name] = event.agent
+            holder[name] = (event.agent, event.time)
         else:
-            if holder.get(name) == event.agent:
+            if name in holder and holder[name][0] == event.agent:
                 del holder[name]
     return violations
 
@@ -303,6 +366,7 @@ def check_durability(trace: TraceRecorder, deployment) -> list[Violation]:
 def check_commit_ordering(trace: TraceRecorder) -> list[Violation]:
     """Close commits push data before metadata, and unlock only after both."""
     violations: list[Violation] = []
+    lost_in_crash = _crash_filter(trace)
     uploads: dict[tuple[str, str, int], int] = {}
     commit_seqs: dict[tuple[str, str, int], int] = {}
     closes: dict[tuple[str, str], list] = {}
@@ -313,6 +377,8 @@ def check_commit_ordering(trace: TraceRecorder) -> list[Violation]:
         elif event.kind == "commit":
             commit_seqs[(event.agent, event.get("file_id"), event.get("version"))] = event.seq
         elif event.kind == "close" and event.get("dirty"):
+            if lost_in_crash(event):
+                continue
             closes.setdefault((event.agent, event.get("file_id")), []).append(event)
         elif event.kind == "unlock":
             name = event.get("lock", "")
@@ -354,6 +420,214 @@ def check_commit_ordering(trace: TraceRecorder) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# 5. serializability of the committed history
+# ---------------------------------------------------------------------------
+
+
+def _find_cycle(adjacency: dict) -> list | None:
+    """One cycle of the directed graph (as a node list), or None if acyclic."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = dict.fromkeys(adjacency, WHITE)
+    for root in adjacency:
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(adjacency[root]))]
+        path = [root]
+        color[root] = GREY
+        while stack:
+            node, neighbours = stack[-1]
+            advanced = False
+            for nxt in neighbours:
+                if color.get(nxt, BLACK) == GREY:
+                    return path[path.index(nxt):] + [nxt]
+                if color.get(nxt, BLACK) == WHITE:
+                    color[nxt] = GREY
+                    stack.append((nxt, iter(adjacency[nxt])))
+                    path.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                path.pop()
+    return None
+
+
+def check_serializability(trace: TraceRecorder) -> list[Violation]:
+    """The committed history is conflict-serializable.
+
+    Nodes are committed transactions (``txn_commit`` events, carrying their
+    validated read sets and anchored write sets) plus every plain ``commit``
+    event as a write-only singleton transaction.  Per file, the anchored
+    version numbers give the total write order; the edges are the classical
+    conflict dependencies:
+
+    * **wr** — the writer of version ``v`` precedes every reader of ``v``;
+    * **ww** — the writer of ``v`` precedes the writer of the next version;
+    * **rw** — a reader of ``v`` precedes the writer of the next version
+      (anti-dependency).
+
+    A cycle means no serial order explains the history (lost update, write
+    skew, torn multi-file read...).  Structural violations are reported too:
+    two writers anchoring the same version (a fork), a committed read of a
+    version nobody wrote, and per-file commits tagged with a transaction that
+    never committed (a torn transactional commit).
+    """
+    violations: list[Violation] = []
+    reads_of: dict[tuple, list[tuple[str, int]]] = {}
+    writes_of: dict[tuple, list[tuple[str, int]]] = {}
+    label: dict[tuple, str] = {}
+    first_seq: dict[tuple, int] = {}
+
+    committed_txns: set[str] = set()
+    for event in trace.by_kind("txn_commit"):
+        txn_id = event.get("txn")
+        committed_txns.add(txn_id)
+        node = ("txn", txn_id)
+        label[node] = f"txn {txn_id} by {event.agent}"
+        first_seq[node] = event.seq
+        reads_of[node] = [(fid, version)
+                          for _path, fid, version in event.get("reads", ())]
+        writes_of[node] = [(fid, version)
+                           for _path, fid, version, _digest in event.get("writes", ())]
+
+    # Anchored writes: every commit event. Transactional ones fold into their
+    # txn node; the rest become write-only singletons.
+    writer_of: dict[tuple[str, int], tuple] = {}
+    for event in trace.by_kind("commit"):
+        fid, version = event.get("file_id"), event.get("version")
+        if not fid:
+            continue
+        txn_id = event.get("txn")
+        if txn_id is not None:
+            node = ("txn", txn_id)
+            if txn_id not in committed_txns:
+                violations.append(Violation(
+                    "serializability",
+                    f"torn transactional commit: {event.agent} anchored {fid} "
+                    f"v{version} for transaction {txn_id}, which never committed",
+                    seq=event.seq,
+                ))
+                label.setdefault(node, f"torn txn {txn_id} by {event.agent}")
+                first_seq.setdefault(node, event.seq)
+                writes_of.setdefault(node, []).append((fid, version))
+        else:
+            node = ("commit", event.agent, fid, version)
+            label[node] = f"commit of {fid} v{version} by {event.agent}"
+            first_seq[node] = event.seq
+            writes_of[node] = [(fid, version)]
+        existing = writer_of.get((fid, version))
+        if existing is not None and existing != node:
+            violations.append(Violation(
+                "serializability",
+                f"version fork: {label[node]} and {label[existing]} both "
+                f"anchored {fid} v{version}",
+                seq=event.seq,
+            ))
+            continue
+        writer_of[(fid, version)] = node
+
+    # Per-file write order from the anchored version numbers.
+    versions_of: dict[str, list[int]] = {}
+    for fid, version in writer_of:
+        versions_of.setdefault(fid, []).append(version)
+    for chain in versions_of.values():
+        chain.sort()
+
+    nodes = set(reads_of) | set(writes_of)
+    adjacency: dict[tuple, set] = {node: set() for node in nodes}
+
+    def next_version(fid: str, version: int) -> int | None:
+        chain = versions_of.get(fid, ())
+        for candidate in chain:
+            if candidate > version:
+                return candidate
+        return None
+
+    for node, writes in writes_of.items():
+        for fid, version in writes:
+            if writer_of.get((fid, version)) != node:
+                continue  # forked duplicate, already reported
+            follower = next_version(fid, version)
+            if follower is not None:
+                successor = writer_of[(fid, follower)]
+                if successor != node:
+                    adjacency[node].add(successor)  # ww
+
+    for node, reads in reads_of.items():
+        for fid, version in reads:
+            writer = writer_of.get((fid, version))
+            if writer is None:
+                if version > 0 and versions_of.get(fid):
+                    violations.append(Violation(
+                        "serializability",
+                        f"{label[node]} read {fid} v{version}, a version no "
+                        "recorded commit anchored",
+                        seq=first_seq.get(node),
+                    ))
+                continue
+            if writer != node:
+                adjacency[writer].add(node)  # wr
+            follower = next_version(fid, version)
+            if follower is not None:
+                successor = writer_of[(fid, follower)]
+                if successor != node:
+                    adjacency[node].add(successor)  # rw
+
+    cycle = _find_cycle(adjacency)
+    if cycle is not None:
+        pretty = " -> ".join(label[node] for node in cycle)
+        violations.append(Violation(
+            "serializability",
+            f"the committed history is not serializable; dependency cycle: {pretty}",
+            seq=max(first_seq.get(node, 0) for node in cycle[:-1]),
+        ))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# 6. version linearizability of the coordination anchor
+# ---------------------------------------------------------------------------
+
+
+def check_version_linearizability(trace: TraceRecorder) -> list[Violation]:
+    """Per file, the anchored version sequence is a linearizable counter.
+
+    Every commit bumps the entry by exactly one on top of the version it
+    observed under the write lock, so the history order of the ``commit``
+    events must show each file's versions strictly increasing and gapless
+    (from whatever version the file first anchored).  A duplicate or
+    regression is a fork (two commits anchored over the same base); a gap
+    means a commit was lost or reordered — either way the metadata entry
+    stopped behaving as a linearizable CAS register.
+    """
+    violations: list[Violation] = []
+    last: dict[str, int] = {}
+    for event in trace.by_kind("commit"):
+        fid, version = event.get("file_id"), event.get("version")
+        if not fid:
+            continue
+        previous = last.get(fid)
+        if previous is not None:
+            if version <= previous:
+                violations.append(Violation(
+                    "linearizability",
+                    f"{event.agent} anchored {fid} v{version} after v{previous} "
+                    "was already anchored (duplicate/regression — a fork)",
+                    seq=event.seq,
+                ))
+            elif version != previous + 1:
+                violations.append(Violation(
+                    "linearizability",
+                    f"{event.agent} anchored {fid} v{version} directly after "
+                    f"v{previous} (gap of {version - previous - 1})",
+                    seq=event.seq,
+                ))
+        last[fid] = max(version, previous or 0)
+    return violations
+
+
+# ---------------------------------------------------------------------------
 # unexpected errors + entry point
 # ---------------------------------------------------------------------------
 
@@ -371,12 +645,19 @@ def check_unexpected_errors(trace: TraceRecorder) -> list[Violation]:
 
 
 def check_all(trace: TraceRecorder, deployment=None,
-              staleness: float = 0.0) -> list[Violation]:
-    """Run every checker; ``deployment`` enables the durability ground check."""
+              staleness: float = 0.0,
+              lock_lease: float = float("inf")) -> list[Violation]:
+    """Run every checker; ``deployment`` enables the durability ground check.
+
+    ``lock_lease`` is the deployment's lease duration; the mutual-exclusion
+    checker allows lock takeovers once the previous holder's lease expired.
+    """
     violations = []
     violations += check_consistency_on_close(trace, staleness=staleness)
-    violations += check_mutual_exclusion(trace)
+    violations += check_mutual_exclusion(trace, lock_lease=lock_lease)
     violations += check_commit_ordering(trace)
+    violations += check_serializability(trace)
+    violations += check_version_linearizability(trace)
     violations += check_unexpected_errors(trace)
     if deployment is not None:
         violations += check_durability(trace, deployment)

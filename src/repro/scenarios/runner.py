@@ -43,26 +43,31 @@ from repro.common.errors import (
     LockHeldError,
     PermissionDeniedError,
     ReproError,
+    TransactionAbortedError,
+    TransactionConflictError,
 )
 from repro.common.types import Permission
 from repro.core.backend import CloudOfCloudsBackend
 from repro.core.deployment import SCFSDeployment
 from repro.scenarios.invariants import Violation, check_all
 from repro.scenarios.pool import prime_pool
-from repro.scenarios.spec import FaultPhase, ScenarioSpec
+from repro.scenarios.spec import FaultPhase, ScenarioSpec, agent_name
 from repro.scenarios.trace import TraceRecorder
 from repro.simenv.environment import Simulation, derive_rng
 from repro.simenv.failures import FaultKind, FaultWindow
 
 #: Errors that are legitimate outcomes of a racing workload (lock conflicts,
-#: reads of not-yet/no-longer existing files); anything else is surfaced by
-#: the ``unexpected-error`` pseudo-invariant.
+#: reads of not-yet/no-longer existing files, transactions that lost their
+#: race and gave up); anything else is surfaced by the ``unexpected-error``
+#: pseudo-invariant.
 BENIGN_ERRORS = (
     LockHeldError,
     FileNotFoundErrorFS,
     FileExistsErrorFS,
     PermissionDeniedError,
     IsADirectoryErrorFS,
+    TransactionAbortedError,
+    TransactionConflictError,
 )
 
 
@@ -111,6 +116,9 @@ class ScenarioRunner:
     def __init__(self, spec: ScenarioSpec):
         spec.validate()
         self.spec = spec
+        #: Agents currently crashed (name -> crash time); their ops are
+        #: skipped until the fault phase ends and the agent remounts.
+        self._crashed: dict[str, float] = {}
 
     # ------------------------------------------------------------------ setup
 
@@ -176,11 +184,32 @@ class ScenarioRunner:
                     schedule.add(window.kind, start=window.start,
                                  end=math.nextafter(now, math.inf),
                                  factor=window.factor)
+        elif target_kind == "agent":
+            name = agent_name(index)
+            if action == "start":
+                deployment.agent_for(name).agent.crash()
+                self._crashed[name] = now
+                recorder.record("agent_crash", agent=name, time=now,
+                                lease=self.spec.lock_lease)
+            else:
+                # Restart = a fresh mount.  The remount happens only after the
+                # crashed session's lock leases ran out (a human restarting a
+                # machine takes longer than a lease), which is the takeover
+                # window the lease-aware mutual-exclusion checker models.
+                crashed_at = self._crashed.pop(name, now)
+                expiry = crashed_at + self.spec.lock_lease + 1.0
+                if deployment.sim.now() < expiry:
+                    deployment.sim.advance(expiry - deployment.sim.now())
+                self._wire_agent(deployment, name, recorder)
+                recorder.record("agent_restart", agent=name,
+                                time=deployment.sim.now(), crashed_at=crashed_at)
         else:
             rsm = deployment.coordination.rsm
             if action == "start":
                 if phase.kind == "crash":
                     rsm.crash_replica(index)
+                elif phase.kind == "partition":
+                    rsm.partition_replica(index)
                 else:
                     rsm.make_byzantine(index)
             else:
@@ -212,10 +241,22 @@ class ScenarioRunner:
             ops.append((kind, path, size))
         return ops
 
+    def _txn_files(self, path: str, size: int) -> list[str]:
+        """The 2-3 consecutive shared files a txn op touches (wrap-around)."""
+        shared = self.spec.shared_files
+        start = shared.index(path)
+        width = min(2 + (size % 2), len(shared))
+        return [shared[(start + i) % len(shared)] for i in range(width)]
+
     def _run_op(self, deployment: SCFSDeployment, recorder: TraceRecorder,
                 agent_name: str, op: tuple[str, str, int], tag: int,
                 stats: dict[str, int]) -> None:
         kind, path, size = op
+        if agent_name in self._crashed:
+            # A crashed agent issues nothing until its restart; the op index
+            # still advances so fault anchors stay comparable across mixes.
+            stats["ops_skipped_crashed"] = stats.get("ops_skipped_crashed", 0) + 1
+            return
         fs = deployment.agent_for(agent_name)
         stats[f"op:{kind}"] = stats.get(f"op:{kind}", 0) + 1
         try:
@@ -249,6 +290,24 @@ class ScenarioRunner:
                     fs.unlink(path)
             elif kind == "gc":
                 fs.collect_garbage()
+            elif kind in ("txn", "txn_read"):
+                # The file set is a deterministic function of (path, size):
+                # 2-3 consecutive shared files starting at `path`, wrapping
+                # around — overlapping sets are what makes transactions
+                # actually conflict.  No extra RNG draws, so the op streams
+                # of the existing mixes are untouched.
+                files = self._txn_files(path, size)
+                read_only = kind == "txn_read"
+
+                def body(txn) -> None:
+                    for file_path in files:
+                        txn.read(file_path)
+                    if not read_only:
+                        for offset, file_path in enumerate(files):
+                            txn.write(file_path,
+                                      _payload(size, tag * 7 + offset))
+
+                fs.run_transaction(body)
             else:  # pragma: no cover - spec.validate rejects unknown kinds
                 raise ValueError(f"unknown op kind {kind!r}")
         except BENIGN_ERRORS as exc:
@@ -329,6 +388,7 @@ class ScenarioRunner:
     def run(self) -> ScenarioResult:
         """Execute the scenario; returns the checked :class:`ScenarioResult`."""
         spec = self.spec
+        self._crashed = {}
         sim = Simulation(seed=spec.seed)
         deployment = SCFSDeployment(spec.config(), sim=sim)
         recorder = TraceRecorder()
@@ -368,12 +428,16 @@ class ScenarioRunner:
         stats["quorum_calls"] = recorder.count("quorum")
         stats["commits"] = recorder.count("commit")
         stats["lock_acquisitions"] = recorder.count("lock")
+        if recorder.count("txn_begin"):
+            stats["txn_commits"] = recorder.count("txn_commit")
+            stats["txn_aborts"] = recorder.count("txn_abort")
         if deployment.coalescer is not None:
             stats["coalesced_reads"] = deployment.coalescer.hits
             stats["coalescer_misses"] = deployment.coalescer.misses
         fingerprint = recorder.fingerprint()
         violations = check_all(recorder, deployment,
-                               staleness=spec.metadata_expiration)
+                               staleness=spec.metadata_expiration,
+                               lock_lease=spec.lock_lease)
         return ScenarioResult(spec=spec, trace=recorder, fingerprint=fingerprint,
                               violations=violations, stats=stats)
 

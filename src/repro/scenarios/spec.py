@@ -42,6 +42,9 @@ FAULT_MIXES: tuple[str, ...] = (
     "corrupt-byzantine",
     "degraded-outage",
     "weighted-byzantine",
+    "txn",
+    "txn-crash-restart",
+    "txn-partition",
 )
 
 #: Agent names, in creation order (index into this for the i-th agent).
@@ -58,7 +61,8 @@ def agent_name(index: int) -> str:
     return f"agent-{index:04d}"
 
 #: Workload operation kinds and their meaning (see ScenarioRunner._run_op).
-OP_KINDS: tuple[str, ...] = ("write", "read", "append", "fsync", "stat", "unlink", "gc")
+OP_KINDS: tuple[str, ...] = ("write", "read", "append", "fsync", "stat", "unlink", "gc",
+                             "txn", "txn_read")
 
 
 @dataclass(frozen=True)
@@ -85,6 +89,19 @@ class WorkloadMix:
             raise ValueError("payload sizes must satisfy 0 < min <= max")
 
 
+#: The workload of the transactional mixes: dominated by multi-file
+#: transactions and transactional reads, with enough plain traffic mixed in to
+#: interleave anchor updates from both commit paths.  No unlink/gc — churn is
+#: what the regular mixes cover; the txn mixes are about the commit protocol.
+TXN_MIX = WorkloadMix(
+    name="txn",
+    weights=(
+        ("txn", 3.0), ("txn_read", 2.0), ("write", 1.5), ("read", 2.0),
+        ("append", 1.0), ("fsync", 0.5), ("stat", 0.5),
+    ),
+)
+
+
 @dataclass(frozen=True)
 class AgentSpec:
     """One simulated user: a name and a sized workload."""
@@ -98,10 +115,13 @@ class AgentSpec:
 class FaultPhase:
     """One fault window, anchored to fractions of the global op sequence.
 
-    ``target`` is ``"cloud:<index>"`` or ``"replica:<index>"``.  For clouds,
-    ``kind`` is a :class:`~repro.simenv.failures.FaultKind` value; for
-    replicas it is ``"crash"`` or ``"byzantine"``.  The phase starts before
-    the op at ``start_frac * total_ops`` and ends before the op at
+    ``target`` is ``"cloud:<index>"``, ``"replica:<index>"`` or
+    ``"agent:<index>"``.  For clouds, ``kind`` is a
+    :class:`~repro.simenv.failures.FaultKind` value; for replicas it is
+    ``"crash"``, ``"byzantine"`` or ``"partition"``; for agents it is
+    ``"crash"`` (the phase end is the restart — a fresh mount after the
+    crashed agent's lock leases expired).  The phase starts before the op at
+    ``start_frac * total_ops`` and ends before the op at
     ``end_frac * total_ops`` (``end_frac >= 1`` keeps it active to the end).
     """
 
@@ -113,12 +133,15 @@ class FaultPhase:
 
     def validate(self) -> None:
         kind, _, index = self.target.partition(":")
-        if kind not in ("cloud", "replica") or not index.isdigit():
+        if kind not in ("cloud", "replica", "agent") or not index.isdigit():
             raise ValueError(f"malformed fault target {self.target!r}")
         if not 0.0 <= self.start_frac < self.end_frac:
             raise ValueError("a fault phase needs start_frac < end_frac")
-        if self.target.startswith("replica") and self.kind not in ("crash", "byzantine"):
+        if self.target.startswith("replica") and self.kind not in (
+                "crash", "byzantine", "partition"):
             raise ValueError(f"unknown replica fault {self.kind!r}")
+        if self.target.startswith("agent") and self.kind != "crash":
+            raise ValueError(f"unknown agent fault {self.kind!r}")
         if self.target.startswith("cloud"):
             FaultKind(self.kind)  # raises ValueError on unknown kinds
 
@@ -151,6 +174,10 @@ class ScenarioSpec:
     pooled: bool = False
     #: Number of coordination-service partitions (§5 scalability extension).
     partitions: int = 1
+    #: Lock-lease duration every agent mounts with.  The default keeps lease
+    #: expiry out of scope (see :meth:`config`); the crash-restart mix shrinks
+    #: it so a crashed agent's locks actually expire mid-scenario.
+    lock_lease: float = 3600.0
 
     @property
     def total_ops(self) -> int:
@@ -178,13 +205,14 @@ class ScenarioSpec:
     def config(self) -> SCFSConfig:
         """The :class:`SCFSConfig` every agent of this scenario mounts with.
 
-        A long lock lease keeps lease expiry out of scope (DEGRADED windows
-        stretch simulated time far beyond the 30 s default, and lease-based
-        lock stealing would make the mutual-exclusion invariant vacuous); an
-        aggressive GC threshold makes the collector actually run mid-scenario.
+        A long lock lease (the spec default) keeps lease expiry out of scope
+        (DEGRADED windows stretch simulated time far beyond the 30 s default,
+        and lease-based lock stealing would make the mutual-exclusion
+        invariant vacuous); an aggressive GC threshold makes the collector
+        actually run mid-scenario.
         """
         overrides = {
-            "lock_lease": 3600.0,
+            "lock_lease": self.lock_lease,
             "caches": CacheConfig(metadata_expiration=self.metadata_expiration),
             # Pooled scenarios disable automatic collection: the collector's
             # owned-paths scan is a full namespace listing, which would be the
@@ -238,14 +266,22 @@ class ScenarioSpec:
             # Alternate the two sharing-capable CoC variants so the sweep
             # exercises both the blocking and the non-blocking close path.
             variant = drawn
+        workload = TXN_MIX if mix.startswith("txn") else WorkloadMix()
         agent_specs = tuple(
-            AgentSpec(name=agent_name(i), ops=ops_per_agent) for i in range(agents)
+            AgentSpec(name=agent_name(i), ops=ops_per_agent, mix=workload)
+            for i in range(agents)
         )
         files = tuple(f"/shared/file-{i}.dat" for i in range(shared_files))
-        faults, dispatch, quorum = _faults_for_mix(mix, rng)
+        faults, dispatch, quorum = _faults_for_mix(mix, rng, agents=agents)
+        # The crash-restart mix needs the crashed agent's leases to expire
+        # within the scenario: a restart remounts only after the lease runs
+        # out, so a 1-hour lease would park the run for an hour of simulated
+        # time (and make lease-expiry takeover unobservable).
+        lease = 25.0 if mix == "txn-crash-restart" else 3600.0
         spec = cls(
             seed=seed, mix=mix, variant=variant, agents=agent_specs,
             faults=faults, shared_files=files, dispatch=dispatch, quorum=quorum,
+            lock_lease=lease,
         )
         spec.validate()
         return spec
@@ -308,9 +344,9 @@ def _two_clouds(rng, n: int = 4) -> tuple[int, int]:
     return first, second
 
 
-def _faults_for_mix(mix: str, rng) -> tuple[tuple[FaultPhase, ...],
-                                            DispatchPolicyConfig | None,
-                                            QuorumConfig | None]:
+def _faults_for_mix(mix: str, rng, agents: int = 3) -> tuple[tuple[FaultPhase, ...],
+                                                             DispatchPolicyConfig | None,
+                                                             QuorumConfig | None]:
     """Build the fault phases (and dispatch/quorum configs) of one named mix.
 
     Windows of *failing* kinds (unavailable, corruption, byzantine,
@@ -420,5 +456,70 @@ def _faults_for_mix(mix: str, rng) -> tuple[tuple[FaultPhase, ...],
                        start_frac=rng.uniform(0.25, 0.45),
                        end_frac=rng.uniform(0.55, 0.75)),
         ), dispatch, quorum
+
+    if mix == "txn":
+        # The baseline transactional mix: concurrent multi-file transactions
+        # racing plain writes, with the usual storage-side weather — a cloud
+        # outage, a gray straggler, and a crashed coordination replica — so
+        # commits retry and abort while the fault budget stays at f = 1.
+        downed, straggler = _two_clouds(rng)
+        replica = rng.randrange(4)
+        return (
+            FaultPhase(f"cloud:{downed}", FaultKind.UNAVAILABLE.value,
+                       start_frac=rng.uniform(0.12, 0.20),
+                       end_frac=rng.uniform(0.35, 0.45)),
+            FaultPhase(f"cloud:{straggler}", FaultKind.DEGRADED.value,
+                       start_frac=rng.uniform(0.55, 0.65),
+                       end_frac=rng.uniform(0.78, 0.90),
+                       factor=rng.uniform(4.0, 8.0)),
+            FaultPhase(f"replica:{replica}", "crash",
+                       start_frac=rng.uniform(0.25, 0.40),
+                       end_frac=rng.uniform(0.60, 0.75)),
+        ), None, None
+
+    if mix == "txn-crash-restart":
+        # One agent crashes mid-transaction holding write locks and remounts
+        # after its leases expired; the survivors' commits must take over the
+        # expired locks without ever forking a version.  No DEGRADED window:
+        # its simulated-time stretch would dwarf the 25 s lease and make the
+        # crash/lease timeline meaningless.
+        victim = rng.randrange(agents)
+        downed = rng.randrange(4)
+        replica = rng.randrange(4)
+        return (
+            FaultPhase(f"agent:{victim}", "crash",
+                       start_frac=rng.uniform(0.20, 0.30),
+                       end_frac=rng.uniform(0.55, 0.70)),
+            FaultPhase(f"cloud:{downed}", FaultKind.UNAVAILABLE.value,
+                       start_frac=rng.uniform(0.45, 0.55),
+                       end_frac=rng.uniform(0.70, 0.85)),
+            FaultPhase(f"replica:{replica}", "crash",
+                       start_frac=rng.uniform(0.10, 0.18),
+                       end_frac=rng.uniform(0.35, 0.50)),
+        ), None, None
+
+    if mix == "txn-partition":
+        # Nemesis-style coordination partitions: two sequential windows each
+        # cut one (different) replica off from the clients — a minority
+        # partition of the n = 4, f = 1 ensemble, so the 3-replica quorum
+        # stays reachable and commits keep linearizing.  Healing is state
+        # transfer from the quorum.  A cloud outage overlaps the second
+        # window to stack storage-side and coordination-side degradation.
+        first = rng.randrange(4)
+        second = rng.randrange(3)
+        if second >= first:
+            second += 1
+        downed = rng.randrange(4)
+        return (
+            FaultPhase(f"replica:{first}", "partition",
+                       start_frac=rng.uniform(0.10, 0.18),
+                       end_frac=rng.uniform(0.30, 0.42)),
+            FaultPhase(f"replica:{second}", "partition",
+                       start_frac=rng.uniform(0.50, 0.58),
+                       end_frac=rng.uniform(0.72, 0.85)),
+            FaultPhase(f"cloud:{downed}", FaultKind.UNAVAILABLE.value,
+                       start_frac=rng.uniform(0.55, 0.62),
+                       end_frac=rng.uniform(0.75, 0.88)),
+        ), None, None
 
     raise ValueError(f"unknown fault mix {mix!r}")

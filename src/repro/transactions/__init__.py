@@ -1,0 +1,21 @@
+"""Transactional commit layer: multi-file atomicity over the SCFS anchor."""
+
+from repro.transactions.manager import (
+    ABORTED,
+    ACTIVE,
+    COMMITTED,
+    TXN_PREFIX,
+    ReadRecord,
+    Transaction,
+    TransactionManager,
+)
+
+__all__ = [
+    "ABORTED",
+    "ACTIVE",
+    "COMMITTED",
+    "TXN_PREFIX",
+    "ReadRecord",
+    "Transaction",
+    "TransactionManager",
+]

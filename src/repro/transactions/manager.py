@@ -1,0 +1,446 @@
+"""Multi-file transactions over the SCFS consistency anchor.
+
+SCFS (§2.4) gives per-file consistency-on-close; the sync workloads of the
+paper's Figure 8 imply *multi-file* atomicity — rename trees, batched commits
+— that plain close() cannot provide.  This layer adds it on top of the
+existing primitives, following the intent-record pattern of leaderless
+BFT-transaction designs (Basil, arXiv:2109.12443):
+
+1. **Optimistic execution** — :meth:`Transaction.read` records the
+   ``(file_id, data_version, digest)`` it served; :meth:`Transaction.write`
+   only stages bytes locally.  Nothing is visible to other agents yet.
+2. **Commit** (:meth:`TransactionManager.commit`) — take the write locks of
+   the *union* of the read and write sets in deterministic (lock-name) order,
+   re-validate every read against the authoritative anchor under those locks,
+   then write an **intent record** (``txn:<id>``) through the coordination
+   service, upload the new data versions to the cloud(s), and anchor each
+   file with a **per-entry version CAS**
+   (:meth:`~repro.core.metadata_service.MetadataService.update_cas`).  The
+   intent flips to ``committed`` only after every CAS succeeded; the locks
+   are released last.
+3. **Abort/retry** — any conflict (lock held, stale read, lost lease, CAS
+   mismatch) raises :class:`~repro.common.errors.TransactionConflictError`;
+   :meth:`TransactionManager.run` re-executes the whole transaction body with
+   bounded exponential backoff before giving up with
+   :class:`~repro.common.errors.TransactionAbortedError`.
+
+The locks serialize commits, the validation makes the serialization order
+match the reads, and the CAS is defence in depth against lock-lease expiry: a
+usurper that stole an expired lock bumps the entry version, so the original
+holder's CAS fails cleanly instead of forking the version history.  Aborts
+before the intent record leave zero visible state (uploaded-but-unanchored
+blocks are invisible and garbage-collectable).
+
+The trace events (``txn_begin`` / ``txn_commit`` / ``txn_abort``, plus the
+per-file ``upload``/``commit`` events tagged with the transaction id) are the
+raw material of the history-based serializability checker in
+:mod:`repro.scenarios.invariants`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import (
+    ConflictError,
+    FileNotFoundErrorFS,
+    IsADirectoryErrorFS,
+    LockHeldError,
+    TransactionAbortedError,
+    TransactionConflictError,
+    TransactionError,
+)
+from repro.core.metadata import FileMetadata, normalize_path
+from repro.crypto.hashing import content_digest
+
+#: Prefix of transaction intent records in the coordination service.
+TXN_PREFIX = "txn:"
+
+#: Lifecycle states of a transaction (mirrored in the intent record).
+ACTIVE, COMMITTED, ABORTED = "active", "committed", "aborted"
+
+
+@dataclass
+class ReadRecord:
+    """What one transactional read observed (the validation token)."""
+
+    path: str
+    file_id: str
+    version: int
+    digest: str
+
+
+class Transaction:
+    """One multi-file transaction: staged writes plus a validated read set.
+
+    Obtained from :meth:`TransactionManager.begin` (or the agent/file-system
+    façades).  Reads are served from the authoritative anchor and recorded;
+    writes stay local until :meth:`commit`.  A transaction is single-use:
+    after commit or abort it refuses further operations.
+    """
+
+    def __init__(self, manager: "TransactionManager", txn_id: str):
+        self.manager = manager
+        self.txn_id = txn_id
+        self.status = ACTIVE
+        self.began = manager.agent.sim.now()
+        self.attempts = 0
+        self._reads: dict[str, ReadRecord] = {}
+        self._read_data: dict[str, bytes] = {}
+        self._writes: dict[str, bytes] = {}
+        #: ``[path, file_id, version, digest]`` of each anchored write, filled
+        #: by the commit (the write set as the serializability checker sees it).
+        self._committed_writes: list[list] = []
+
+    # ------------------------------------------------------------- operations
+
+    def _require_active(self) -> None:
+        if self.status != ACTIVE:
+            raise TransactionError(f"transaction {self.txn_id} is {self.status}")
+
+    def read(self, path: str) -> bytes:
+        """Read ``path`` within this transaction (repeatable, reads-your-writes)."""
+        self._require_active()
+        path = normalize_path(path)
+        if path in self._writes:
+            return self._writes[path]
+        if path in self._read_data:
+            return self._read_data[path]
+        agent = self.manager.agent
+        # A pending non-blocking close of this agent must land first: its
+        # version is newer than anything the anchor knows, and basing the read
+        # set on the pre-upload state would validate against a version this
+        # very agent is about to replace.
+        agent.flush_pending(path)
+        meta = agent.metadata.get(path, use_cache=False)
+        if meta.is_directory:
+            raise IsADirectoryErrorFS(f"is a directory: {path}")
+        data = b""
+        if meta.digest:
+            data = self.manager.agent.storage.read_version(
+                meta.file_id, meta.digest, meta.size).data
+        self._reads[path] = ReadRecord(path=path, file_id=meta.file_id,
+                                       version=meta.data_version, digest=meta.digest)
+        self._read_data[path] = data
+        return data
+
+    def write(self, path: str, data: bytes) -> None:
+        """Stage ``data`` as the new content of ``path`` (visible at commit only).
+
+        The target must already exist at commit time — transactions update
+        files, the namespace operations (create/unlink/rename) stay per-file.
+        """
+        self._require_active()
+        self._writes[normalize_path(path)] = bytes(data)
+
+    @property
+    def read_set(self) -> list[ReadRecord]:
+        """The recorded reads (paths outside the write set keep their record)."""
+        return [self._reads[p] for p in sorted(self._reads)]
+
+    @property
+    def write_set(self) -> list[str]:
+        """Sorted paths staged for writing."""
+        return sorted(self._writes)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def commit(self) -> None:
+        """One commit attempt; raises ``TransactionConflictError`` on conflict.
+
+        On conflict the transaction is aborted (it cannot be re-committed) —
+        use :meth:`TransactionManager.run` for the retrying form.
+        """
+        self._require_active()
+        self.manager.commit(self)
+
+    def abort(self, reason: str = "aborted by caller") -> None:
+        """Drop every staged write; nothing becomes visible (no-op if finished)."""
+        if self.status == ACTIVE:
+            self.manager._finish_abort(self, reason)
+
+
+class TransactionManager:
+    """Transactional commit layer of one agent (``agent.transactions``)."""
+
+    def __init__(self, agent):
+        self.agent = agent
+        self.config = agent.config.transactions
+
+    # ------------------------------------------------------------------ begin
+
+    def begin(self) -> Transaction:
+        """Start a transaction (emits ``txn_begin``)."""
+        txn = Transaction(self, self.agent.sim.fresh_id("txn"))
+        self.agent._emit("txn_begin", txn=txn.txn_id)
+        return txn
+
+    def run(self, body: Callable[[Transaction], Any]) -> Any:
+        """Execute ``body(txn)`` and commit, retrying with bounded backoff.
+
+        The whole body re-executes on conflict (its reads must re-observe the
+        anchor), up to ``config.max_attempts`` times; then
+        :class:`TransactionAbortedError` carries the last conflict.
+        """
+        backoff = self.config.backoff
+        last: TransactionConflictError | None = None
+        for attempt in range(self.config.max_attempts):
+            txn = self.begin()
+            txn.attempts = attempt + 1
+            try:
+                result = body(txn)
+                txn.commit()
+                return result
+            except TransactionConflictError as exc:
+                last = exc
+                txn.abort(reason=str(exc))
+                if attempt < self.config.max_attempts - 1:
+                    self.agent.sim.advance(backoff)
+                    backoff = min(backoff * self.config.backoff_factor,
+                                  self.config.backoff_max)
+            except BaseException:
+                txn.abort(reason="body raised")
+                raise
+        raise TransactionAbortedError(
+            f"transaction gave up after {self.config.max_attempts} attempts: {last}"
+        ) from last
+
+    # ----------------------------------------------------------------- commit
+
+    def commit(self, txn: Transaction) -> None:
+        """One commit attempt of ``txn`` (see the module docstring protocol)."""
+        if not txn._reads and not txn._writes:
+            txn.status = COMMITTED
+            self._emit_commit(txn)
+            return
+        try:
+            self._commit_locked(txn)
+        except TransactionConflictError as exc:
+            self._finish_abort(txn, str(exc))
+            raise
+        except LockHeldError as exc:
+            self._finish_abort(txn, str(exc))
+            raise TransactionConflictError(str(exc)) from exc
+
+    def _commit_locked(self, txn: Transaction) -> None:
+        agent = self.agent
+        paths = sorted(set(txn._reads) | set(txn._writes))
+        for path in paths:
+            agent.flush_pending(path)
+        current = self._resolve(txn, paths)
+        # Strict two-phase locking over the read∪write union, in global
+        # lock-name order (the names are stable across renames, so every
+        # committer sorts identically — no deadlock).
+        locked: list[FileMetadata] = []
+        try:
+            for path in sorted(paths, key=lambda p: agent.locks.lock_name(current[p][0])):
+                agent.locks.acquire(current[path][0])
+                locked.append(current[path][0])
+            # Validation runs under the locks: competing writers are now
+            # excluded, so what we re-read here is what the CAS will see.
+            current = self._resolve(txn, paths)
+            self._validate(txn, current)
+            for meta in locked:
+                if not agent.locks.still_held(meta):
+                    raise TransactionConflictError(
+                        f"lock lease on {meta.path} expired during commit")
+            if txn._writes:
+                self._anchor_writes(txn, current)
+            txn.status = COMMITTED
+            self._emit_commit(txn)
+        finally:
+            for meta in reversed(locked):
+                agent.locks.release(meta)
+
+    def _resolve(self, txn: Transaction,
+                 paths: list[str]) -> dict[str, tuple[FileMetadata, int]]:
+        """Authoritative ``path -> (metadata, entry_version)`` for the lock/CAS set."""
+        current: dict[str, tuple[FileMetadata, int]] = {}
+        for path in paths:
+            pair = self.agent.metadata.lookup_versioned(path)
+            if pair is None or pair[0].deleted:
+                if path in txn._writes and path not in txn._reads:
+                    raise FileNotFoundErrorFS(f"no such file: {path}")
+                raise TransactionConflictError(f"{path} disappeared mid-transaction")
+            if pair[0].is_directory:
+                raise IsADirectoryErrorFS(f"is a directory: {path}")
+            current[path] = pair
+        return current
+
+    def _validate(self, txn: Transaction,
+                  current: dict[str, tuple[FileMetadata, int]]) -> None:
+        for path, record in txn._reads.items():
+            meta = current[path][0]
+            if (meta.file_id != record.file_id
+                    or meta.data_version != record.version
+                    or meta.digest != record.digest):
+                raise TransactionConflictError(
+                    f"stale read of {path}: saw version {record.version}, "
+                    f"anchor has {meta.data_version}")
+
+    def _anchor_writes(self, txn: Transaction,
+                       current: dict[str, tuple[FileMetadata, int]]) -> None:
+        agent = self.agent
+        now = agent.sim.now()
+        plan = []
+        for path in sorted(txn._writes):
+            meta, entry_version = current[path]
+            data = txn._writes[path]
+            new_meta = meta.copy()
+            new_meta.digest = content_digest(data)
+            new_meta.size = len(data)
+            new_meta.modified_at = now
+            new_meta.data_version = meta.data_version + 1
+            plan.append((path, entry_version, new_meta, data))
+        self._put_intent(txn, "pending", plan, expected_version=None)
+        for path, _entry_version, new_meta, data in plan:
+            ref = agent.storage.push_to_cloud(new_meta.file_id, data,
+                                              min_version=new_meta.data_version)
+            new_meta.digest, new_meta.size = ref.digest, ref.size
+            agent._emit("upload", path=path, file_id=new_meta.file_id,
+                        digest=ref.digest, version=new_meta.data_version,
+                        background=False, txn=txn.txn_id)
+            # A version written by a grantee must stay readable by the owner
+            # and the other grantees (same as the plain close paths).
+            agent._propagate_cloud_acls(new_meta)
+        for path, entry_version, new_meta, _data in plan:
+            try:
+                agent.metadata.update_cas(new_meta, expected_version=entry_version)
+            except ConflictError as exc:
+                # Unreachable while the locks hold (validated entry versions
+                # cannot move), so reaching it means the lease protection
+                # failed — record the abort loudly; the serializability
+                # checker flags any version this attempt already anchored.
+                self._put_intent(txn, "aborted", plan, expected_version=1)
+                raise TransactionConflictError(
+                    f"version CAS failed on {path}: {exc}") from exc
+            agent._emit("commit", path=path, file_id=new_meta.file_id,
+                        digest=new_meta.digest, version=new_meta.data_version,
+                        background=False, txn=txn.txn_id)
+            txn._committed_writes.append(
+                [path, new_meta.file_id, new_meta.data_version, new_meta.digest])
+        self._put_intent(txn, "committed", plan, expected_version=1)
+        agent.gc.maybe_schedule()
+
+    def _put_intent(self, txn: Transaction, status: str, plan,
+                    expected_version: int | None) -> None:
+        """Write/flip the intent record ``txn:<id>`` through the coordination service."""
+        agent = self.agent
+        payload = json.dumps({
+            "txn": txn.txn_id,
+            "writer": agent.principal.name,
+            "status": status,
+            "files": [[path, meta.file_id, meta.data_version - 1,
+                       meta.data_version, meta.digest]
+                      for path, _v, meta, _d in plan],
+        }, sort_keys=True).encode()
+        agent.coordination.put(TXN_PREFIX + txn.txn_id, payload, agent.session,
+                               expected_version=expected_version)
+
+    def intent_record(self, txn_id: str) -> dict | None:
+        """Decode the intent record of ``txn_id`` (None when absent)."""
+        from repro.common.errors import TupleNotFoundError
+
+        try:
+            entry = self.agent.coordination.get(TXN_PREFIX + txn_id, self.agent.session)
+        except TupleNotFoundError:
+            return None
+        return json.loads(entry.value.decode())
+
+    # ------------------------------------------------------------------ abort
+
+    def _finish_abort(self, txn: Transaction, reason: str) -> None:
+        txn.status = ABORTED
+        self.agent._emit(
+            "txn_abort", txn=txn.txn_id, reason=reason[:200],
+            reads=[[r.path, r.file_id, r.version] for r in txn.read_set],
+            writes=[[p] for p in txn.write_set])
+
+    def _emit_commit(self, txn: Transaction) -> None:
+        self.agent._emit(
+            "txn_commit", txn=txn.txn_id, began=txn.began, attempts=txn.attempts,
+            reads=[[r.path, r.file_id, r.version] for r in txn.read_set],
+            writes=list(txn._committed_writes))
+
+    # ------------------------------------------------------------ rename_tree
+
+    def rename_tree(self, old_path: str, new_path: str) -> None:
+        """Atomically rename ``old_path`` (a file or a whole directory tree).
+
+        Every *file* under the tree is locked first (lock names are keyed by
+        file id, so they survive the rename), an intent record marks the
+        operation, and the namespace move itself is the coordination
+        service's one-round-trip prefix rewrite.  Concurrent closes of the
+        moved files are excluded by the locks, so no background commit can
+        resurrect the old path half-way through.
+        """
+        agent = self.agent
+        old_path, new_path = normalize_path(old_path), normalize_path(new_path)
+        meta = agent.metadata.get(old_path, use_cache=False)
+        files = [m for m in self._walk(meta) if m.is_file]
+        for m in files:
+            agent.flush_pending(m.path)
+        txn = self.begin()
+        locked: list[FileMetadata] = []
+        try:
+            try:
+                for m in sorted(files, key=agent.locks.lock_name):
+                    agent.locks.acquire(m)
+                    locked.append(m)
+            except LockHeldError as exc:
+                raise TransactionConflictError(str(exc)) from exc
+            payload = json.dumps({
+                "txn": txn.txn_id, "writer": agent.principal.name,
+                "status": "pending", "rename": [old_path, new_path],
+                "files": sorted(m.path for m in files),
+            }, sort_keys=True).encode()
+            agent.coordination.put(TXN_PREFIX + txn.txn_id, payload, agent.session)
+            agent.rename(old_path, new_path)
+            done = json.loads(payload.decode())
+            done["status"] = "committed"
+            agent.coordination.put(TXN_PREFIX + txn.txn_id,
+                                   json.dumps(done, sort_keys=True).encode(),
+                                   agent.session, expected_version=1)
+            txn.status = COMMITTED
+            agent._emit("txn_commit", txn=txn.txn_id, began=txn.began, attempts=1,
+                        reads=[], writes=[], renamed_from=old_path,
+                        renamed_to=new_path, files=len(files))
+        except TransactionConflictError as exc:
+            self._finish_abort(txn, str(exc))
+            raise
+        except BaseException as exc:
+            self._finish_abort(txn, f"rename failed: {exc}")
+            raise
+        finally:
+            for m in reversed(locked):
+                agent.locks.release(m)
+
+    def _walk(self, meta: FileMetadata) -> list[FileMetadata]:
+        """``meta`` plus (for directories) every live descendant."""
+        if not meta.is_directory:
+            return [meta]
+        out = [meta]
+        stack = [meta.path]
+        while stack:
+            directory = stack.pop()
+            for child in self.agent.metadata.list_children(directory):
+                out.append(child)
+                if child.is_directory:
+                    stack.append(child.path)
+        return out
+
+    # ---------------------------------------------------------------- context
+
+    @contextlib.contextmanager
+    def transaction(self):
+        """``with manager.transaction() as txn:`` — commit on success, abort on error."""
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            txn.abort(reason="body raised")
+            raise
+        txn.commit()

@@ -25,6 +25,10 @@ GOLDEN_LOCKSTEP = {
     "degraded-outage": "86299db26465e31ba786ee51b536ed18e98ada47c901eecb49a79a35430e971a",
     # Recorded at PR 8 together with the weighted-quorum mix itself.
     "weighted-byzantine": "acc0ae4d0ad0f353da3874040c787b7d0623f52d4f8e1c959fbc9acbc66d8de3",
+    # Recorded at PR 9 together with the transactional mixes themselves.
+    "txn": "8e4724dc4705bc5d476e8777445db5309318a1714efa06ece41ccbf4e9c9bf63",
+    "txn-crash-restart": "b86da0ec3e0dc4be904bb5e86e2e2a3a143f39f1ae83672039b2591d87537cee",
+    "txn-partition": "cc7b0d05fd604cb3ad9f997fa9313f5223f248da0b53353dcde4dd6cb7be7e99",
 }
 
 

@@ -1,0 +1,215 @@
+"""Self-tests for the history-based serializability / linearizability checkers.
+
+A checker that never fires is worse than no checker: the scenario sweeps only
+prove anything if the invariants actually reject broken histories.  Each test
+here hand-writes a small history — the classic anomalies (lost update, write
+skew, torn multi-file commit, forked CAS register) and their legal
+counterparts — and asserts the checkers flag exactly the broken ones.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.invariants import (
+    check_all,
+    check_consistency_on_close,
+    check_mutual_exclusion,
+    check_serializability,
+    check_version_linearizability,
+)
+from repro.scenarios.trace import TraceRecorder
+
+
+def _commit(trace: TraceRecorder, time: float, agent: str, fid: str,
+            version: int, digest: str = "", txn: str | None = None) -> None:
+    fields = dict(file_id=fid, version=version,
+                  digest=digest or f"digest-{fid}-{version}",
+                  path=f"/shared/{fid}")
+    if txn is not None:
+        fields["txn"] = txn
+    trace.record("commit", agent=agent, time=time, **fields)
+
+
+def _txn_commit(trace: TraceRecorder, time: float, agent: str, txn: str,
+                reads: list[tuple[str, int]],
+                writes: list[tuple[str, int]]) -> None:
+    """Record a txn_commit plus the per-file commit events a real one emits."""
+    for fid, version in writes:
+        _commit(trace, time, agent, fid, version,
+                digest=f"digest-{txn}-{fid}-{version}", txn=txn)
+    trace.record(
+        "txn_commit", agent=agent, time=time, txn=txn,
+        reads=[[f"/shared/{fid}", fid, version] for fid, version in reads],
+        writes=[[f"/shared/{fid}", fid, version, f"digest-{txn}-{fid}-{version}"]
+                for fid, version in writes],
+    )
+
+
+def _of(violations, invariant: str):
+    return [v for v in violations if v.invariant == invariant]
+
+
+# ---------------------------------------------------------------------- legal
+
+
+def test_serial_history_passes() -> None:
+    trace = TraceRecorder()
+    _commit(trace, 1.0, "alice", "a", 1)
+    _commit(trace, 1.0, "alice", "b", 1)
+    _txn_commit(trace, 2.0, "bob", "t1", reads=[("a", 1), ("b", 1)],
+                writes=[("a", 2), ("b", 2)])
+    _txn_commit(trace, 3.0, "carol", "t2", reads=[("a", 2), ("b", 2)],
+                writes=[("a", 3), ("b", 3)])
+    assert check_serializability(trace) == []
+    assert check_version_linearizability(trace) == []
+    # check_all runs both new checkers (the minimal history has no uploads,
+    # so only the commit-ordering bookkeeping checker may remark on it).
+    assert not _of(check_all(trace), "serializability")
+    assert not _of(check_all(trace), "linearizability")
+
+
+def test_concurrent_but_serializable_history_passes() -> None:
+    """Disjoint write sets with shared reads serialize fine (no anti-cycle)."""
+    trace = TraceRecorder()
+    _commit(trace, 1.0, "alice", "a", 1)
+    _commit(trace, 1.0, "alice", "b", 1)
+    # Both read the other's file but only one of them writes each file.
+    _txn_commit(trace, 2.0, "bob", "t1", reads=[("a", 1)], writes=[("b", 2)])
+    _txn_commit(trace, 3.0, "carol", "t2", reads=[("b", 2)], writes=[("a", 2)])
+    assert check_serializability(trace) == []
+
+
+def test_history_starting_midway_passes() -> None:
+    """Pooled scenarios prime files at v>0: the first observed version of a
+    file is accepted as-is, only the continuation must be gapless."""
+    trace = TraceRecorder()
+    _commit(trace, 1.0, "alice", "a", 7)
+    _commit(trace, 2.0, "bob", "a", 8)
+    assert check_version_linearizability(trace) == []
+
+
+# ------------------------------------------------------------------ anomalies
+
+
+def test_lost_update_is_flagged() -> None:
+    """Two read-modify-writes from the same snapshot: the second clobbers the
+    first's update (rw + ww cycle)."""
+    trace = TraceRecorder()
+    _commit(trace, 1.0, "alice", "a", 1)
+    _txn_commit(trace, 2.0, "bob", "t1", reads=[("a", 1)], writes=[("a", 2)])
+    _txn_commit(trace, 3.0, "carol", "t2", reads=[("a", 1)], writes=[("a", 3)])
+    found = check_serializability(trace)
+    assert any("not serializable" in v.message for v in found)
+
+
+def test_write_skew_is_flagged() -> None:
+    """The textbook write-skew: each txn reads both files, writes the other."""
+    trace = TraceRecorder()
+    _commit(trace, 1.0, "alice", "a", 1)
+    _commit(trace, 1.0, "alice", "b", 1)
+    _txn_commit(trace, 2.0, "bob", "t1", reads=[("a", 1), ("b", 1)],
+                writes=[("a", 2)])
+    _txn_commit(trace, 2.5, "carol", "t2", reads=[("a", 1), ("b", 1)],
+                writes=[("b", 2)])
+    found = check_serializability(trace)
+    assert any("not serializable" in v.message for v in found)
+
+
+def test_torn_multi_file_commit_is_flagged() -> None:
+    """A per-file commit tagged with a transaction that never committed."""
+    trace = TraceRecorder()
+    _commit(trace, 1.0, "alice", "a", 1)
+    _commit(trace, 1.0, "alice", "b", 1)
+    # t1 anchored file a but died before file b and before its txn_commit.
+    _commit(trace, 2.0, "bob", "a", 2, txn="t1")
+    found = check_serializability(trace)
+    assert any("torn transactional commit" in v.message for v in found)
+
+
+def test_version_fork_is_flagged() -> None:
+    """Two writers anchoring the same (file, version) — the CAS was bypassed."""
+    trace = TraceRecorder()
+    _commit(trace, 1.0, "alice", "a", 1)
+    _commit(trace, 2.0, "bob", "a", 2, digest="digest-bob")
+    _commit(trace, 2.5, "carol", "a", 2, digest="digest-carol")
+    found = check_serializability(trace)
+    assert any("version fork" in v.message for v in found)
+    # The forked register is also non-linearizable (duplicate version).
+    assert _of(check_version_linearizability(trace), "linearizability")
+
+
+def test_read_of_unwritten_version_is_flagged() -> None:
+    trace = TraceRecorder()
+    _commit(trace, 1.0, "alice", "a", 1)
+    _txn_commit(trace, 2.0, "bob", "t1", reads=[("a", 5)], writes=[])
+    found = check_serializability(trace)
+    assert any("no recorded commit anchored" in v.message for v in found)
+
+
+def test_nonlinearizable_cas_duplicate_is_flagged() -> None:
+    trace = TraceRecorder()
+    _commit(trace, 1.0, "alice", "a", 1)
+    _commit(trace, 2.0, "bob", "a", 2)
+    _commit(trace, 3.0, "carol", "a", 2, digest="digest-other")
+    found = check_version_linearizability(trace)
+    assert any("duplicate/regression" in v.message for v in found)
+
+
+def test_nonlinearizable_cas_gap_is_flagged() -> None:
+    trace = TraceRecorder()
+    _commit(trace, 1.0, "alice", "a", 1)
+    _commit(trace, 2.0, "bob", "a", 4)
+    found = check_version_linearizability(trace)
+    assert any("gap" in v.message for v in found)
+
+
+def test_version_regression_is_flagged() -> None:
+    trace = TraceRecorder()
+    _commit(trace, 1.0, "alice", "a", 3)
+    _commit(trace, 2.0, "bob", "a", 2)
+    assert _of(check_version_linearizability(trace), "linearizability")
+
+
+# --------------------------------------------------- crash / lease semantics
+
+
+def test_lock_takeover_before_lease_expiry_is_flagged() -> None:
+    trace = TraceRecorder()
+    trace.record("lock", agent="alice", time=10.0, lock="lock:a")
+    trace.record("lock", agent="bob", time=20.0, lock="lock:a")
+    found = check_mutual_exclusion(trace, lock_lease=25.0)
+    assert any("while alice still held it" in v.message for v in found)
+
+
+def test_lock_takeover_after_lease_expiry_is_legal() -> None:
+    trace = TraceRecorder()
+    trace.record("lock", agent="alice", time=10.0, lock="lock:a")
+    trace.record("lock", agent="bob", time=36.0, lock="lock:a")
+    assert check_mutual_exclusion(trace, lock_lease=25.0) == []
+    # The default (infinite lease) keeps the strict rule of the plain mixes.
+    assert check_mutual_exclusion(trace)
+
+
+def test_crashed_agents_uncommitted_close_is_not_a_violation() -> None:
+    """The documented non-blocking data-loss window: a dirty close whose
+    commit never landed because the agent crashed."""
+    trace = TraceRecorder()
+    _commit(trace, 1.0, "alice", "a", 1)
+    trace.record("close", agent="alice", time=2.0, file_id="a", version=2,
+                 digest="digest-lost", path="/shared/a")
+    trace.record("agent_crash", agent="alice", time=2.1, lease=25.0)
+    # After the lease, bob re-writes version 2 with different content.
+    _commit(trace, 30.0, "bob", "a", 2, digest="digest-bob")
+    assert check_consistency_on_close(trace) == []
+
+
+def test_committed_close_survives_a_later_crash() -> None:
+    """Only closes whose commit was wiped by the crash are forgiven — a close
+    whose commit landed first stays authoritative."""
+    trace = TraceRecorder()
+    trace.record("close", agent="alice", time=2.0, file_id="a", version=1,
+                 digest="digest-x", path="/shared/a")
+    _commit(trace, 2.5, "alice", "a", 1, digest="digest-x")
+    trace.record("agent_crash", agent="alice", time=3.0, lease=25.0)
+    _commit(trace, 30.0, "bob", "a", 1, digest="digest-y")
+    found = check_consistency_on_close(trace)
+    assert any("two digests" in v.message for v in found)
