@@ -35,8 +35,8 @@ def test_table3_microbenchmarks(run_once, benchmark, capsys):
     table = run_once(run_microbenchmark_table, ALL_TARGET_NAMES, tuple(MICRO_BENCHMARKS),
                      0, PARAMS, read_paths)
 
-    headers = ["micro-benchmark"] + list(ALL_TARGET_NAMES)
-    rows = [[name] + [table[name][target] for target in ALL_TARGET_NAMES]
+    headers = ["micro-benchmark", *ALL_TARGET_NAMES]
+    rows = [[name, *(table[name][target] for target in ALL_TARGET_NAMES)]
             for name in MICRO_BENCHMARKS]
     with capsys.disabled():
         print()

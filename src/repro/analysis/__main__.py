@@ -1,0 +1,74 @@
+"""CLI for the repro static analyzer.
+
+Usage::
+
+    python -m repro.analysis src/repro [tests/...] [--format=text|json]
+                                       [--out FILE] [--list-rules]
+
+Exit status: ``0`` — analyzed clean; ``1`` — findings (or unparsable files);
+``2`` — usage error (no such path, nothing to analyze).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.analysis.registry import RULE_DOCS
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism & protocol-discipline linter for the repro codebase.",
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to analyze")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--out", type=Path, default=None, metavar="FILE",
+                        help="also write the report to FILE")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list rule IDs with their contracts and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULE_DOCS):
+            print(f"{rule}  {RULE_DOCS[rule]}")
+        return 0
+
+    if not args.paths:
+        print("error: no paths given (try: python -m repro.analysis src/repro)",
+              file=sys.stderr)
+        return 2
+    missing = [path for path in args.paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+
+    report = analyze_paths(args.paths)
+    if report.files_analyzed == 0:
+        print("error: no Python files found under the given paths", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        rendered = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        rendered = report.render_text()
+    print(rendered)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(rendered + "\n", encoding="utf-8")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

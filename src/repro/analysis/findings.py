@@ -1,0 +1,35 @@
+"""The :class:`Finding` record every rule produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One static-analysis finding, anchored to a source location.
+
+    Ordered by ``(path, line, col, rule)`` so reports are stable regardless
+    of rule execution order — the analyzer's own output must be as
+    deterministic as the code it polices.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-stable representation (the ``--format=json`` item shape)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

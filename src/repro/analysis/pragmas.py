@@ -1,0 +1,84 @@
+"""Inline pragmas: ``# repro: allow[RULE] -- justification`` and file directives.
+
+A finding on line *L* is suppressed by an ``allow`` pragma on *L* itself (a
+trailing comment) or on *L - 1* (a comment line directly above a statement).
+The justification after ``--`` is mandatory: silencing a determinism or
+protocol rule is a reviewed decision, and the reason must survive in the
+source next to it.  A pragma without one is reported as ``PRG001`` — which
+cannot itself be pragma'd away.
+
+File directives override the path-based sim-visibility classification (used
+by the determinism rules and by the fixture corpus)::
+
+    # repro: sim-visible
+    # repro: not-sim-visible
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+
+#: ``# repro: allow[DET001] -- why`` (the justification group may be absent).
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>[A-Z]{3}\d{3})\]\s*(?:--\s*(?P<why>\S.*?))?\s*$"
+)
+_DIRECTIVE_RE = re.compile(r"#\s*repro:\s*(?P<flag>(?:not-)?sim-visible)\s*$")
+
+#: File directives are only honoured near the top of the file.
+_DIRECTIVE_WINDOW = 25
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``allow`` pragma."""
+
+    line: int
+    rule: str
+    justification: str
+
+
+class PragmaTable:
+    """All pragmas and directives of one source file."""
+
+    def __init__(self, source: str, path: str) -> None:
+        self.path = path
+        self._by_line: dict[int, list[Pragma]] = {}
+        self.sim_visible_override: bool | None = None
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            allow = _ALLOW_RE.search(text)
+            if allow is not None:
+                pragma = Pragma(line=lineno, rule=allow.group("rule"),
+                                justification=(allow.group("why") or "").strip())
+                self._by_line.setdefault(lineno, []).append(pragma)
+                continue
+            if lineno <= _DIRECTIVE_WINDOW:
+                directive = _DIRECTIVE_RE.search(text)
+                if directive is not None:
+                    self.sim_visible_override = directive.group("flag") == "sim-visible"
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """True when an ``allow[rule]`` pragma covers ``line`` (same or above).
+
+        Only *justified* pragmas suppress: an empty justification leaves the
+        original finding standing (plus the ``PRG001``), so a half-written
+        pragma never silently waives a rule.
+        """
+        for pragma_line in (line, line - 1):
+            for pragma in self._by_line.get(pragma_line, ()):
+                if pragma.rule == rule and pragma.justification:
+                    return True
+        return False
+
+    def unjustified(self) -> list[Finding]:
+        """``PRG001`` findings for every pragma lacking a justification."""
+        return [
+            Finding(path=self.path, line=pragma.line, col=0, rule="PRG001",
+                    message=(f"pragma allow[{pragma.rule}] has no justification "
+                             "(write `# repro: allow[RULE] -- reason`)"))
+            for pragmas in self._by_line.values()
+            for pragma in pragmas
+            if not pragma.justification
+        ]

@@ -1,0 +1,1 @@
+"""The four rule families of the repro static analyzer."""

@@ -1,0 +1,61 @@
+"""EXC rules: exception hygiene on dispatch/commit paths.
+
+``EXC001`` — a bare ``except:`` catches ``SystemExit``/``KeyboardInterrupt``
+too and hides what it meant to catch; name the exceptions (``BaseException``
+at broadest) everywhere.
+
+``EXC002`` — in sim-visible code, a broad ``except Exception`` /
+``except BaseException`` whose handler never re-raises swallows every
+:class:`~repro.common.errors.ReproError` subclass with it.  Those carry
+protocol outcomes (lock conflicts, quorum failures, transaction conflicts)
+that dispatch and commit paths must surface — a silent ``pass`` here turns a
+Byzantine fault into a fake success.  Broad handlers that re-raise (cleanup
+paths) are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import ModuleContext
+from repro.analysis.findings import Finding
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _names(handler_type: ast.expr) -> list[str]:
+    nodes = handler_type.elts if isinstance(handler_type, ast.Tuple) else [handler_type]
+    out = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            out.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            out.append(node.attr)
+    return out
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def check(ctx: ModuleContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            findings.append(ctx.finding(
+                "EXC001", node,
+                "bare `except:` (catches SystemExit/KeyboardInterrupt too); "
+                "name the exceptions, `except BaseException:` at broadest"))
+            continue
+        if any(name in _BROAD for name in _names(node.type)) and not _reraises(node):
+            findings.append(ctx.finding(
+                "EXC002", node,
+                "broad handler swallows ReproError subclasses (protocol "
+                "outcomes) without re-raising; catch the specific errors or "
+                "re-raise after cleanup"))
+    return findings

@@ -1,0 +1,168 @@
+"""TRC rules: emitted trace events and checker reads match the declared schema.
+
+The invariant checkers consume the trace *stringly*: a typo'd field name in an
+emission (or a checker reading a field nobody emits) silently turns a checker
+into a no-op — the PR 4/9 false-negative class.  The contract is the declared
+registry :data:`repro.scenarios.trace.TRACE_SCHEMA`; this module diffs both
+sides of the string interface against it:
+
+* **emissions** — calls to ``<agent>._emit("kind", field=...)`` and
+  ``recorder.record("kind", field=...)``: the kind must be a declared string
+  literal (``TRC001``) and every explicit keyword field must be declared for
+  that kind (``TRC002``).  ``**expansion`` keywords are dynamic and skipped
+  (the reader side still pins them to declared fields).
+* **checker reads** — inside any function that selects kinds (via
+  ``by_kind(...)``, ``count(...)`` or ``event.kind == ...`` comparisons),
+  every literal ``.get("field")`` must name a field declared for at least one
+  selected kind, and every selected kind must itself be declared (``TRC003``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import ModuleContext
+from repro.analysis.findings import Finding
+
+#: Recorder parameters that are not event fields.
+_RECORDER_PARAMS = frozenset({"agent", "time"})
+#: Attributes of :class:`TraceEvent` itself, always readable.
+_EVENT_ATTRS = frozenset({"seq", "time", "kind", "agent"})
+#: ``.record`` receivers treated as trace recorders.
+_RECORDER_NAMES = frozenset({"recorder", "rec", "trace"})
+#: ``.kind`` receivers treated as trace events (``FaultSpec.kind`` etc. are
+#: unrelated string fields and must not pull a function into TRC003 scope).
+_EVENT_NAMES = frozenset({"event", "e", "ev", "evt"})
+
+
+def _schema() -> dict[str, frozenset[str]]:
+    from repro.scenarios.trace import TRACE_SCHEMA
+
+    return TRACE_SCHEMA
+
+
+def check(ctx: ModuleContext) -> list[Finding]:
+    schema = _schema()
+    findings: list[Finding] = []
+    findings.extend(_check_emissions(ctx, schema))
+    findings.extend(_check_reads(ctx, schema))
+    return findings
+
+
+# ---------------------------------------------------------------- TRC001/002
+
+
+def _emission_calls(ctx: ModuleContext) -> list[ast.Call]:
+    calls = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        attr = node.func.attr
+        if attr == "_emit":
+            calls.append(node)
+        elif attr == "record":
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name) and receiver.id in _RECORDER_NAMES:
+                calls.append(node)
+            elif node.args and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                calls.append(node)
+    return calls
+
+
+def _check_emissions(ctx: ModuleContext,
+                     schema: dict[str, frozenset[str]]) -> list[Finding]:
+    findings: list[Finding] = []
+    for call in _emission_calls(ctx):
+        if not call.args:
+            continue
+        kind_arg = call.args[0]
+        if not (isinstance(kind_arg, ast.Constant) and isinstance(kind_arg.value, str)):
+            findings.append(ctx.finding(
+                "TRC001", call,
+                "trace event kind is not a string literal; the schema registry "
+                "can only police statically declared kinds"))
+            continue
+        kind = kind_arg.value
+        declared = schema.get(kind)
+        if declared is None:
+            findings.append(ctx.finding(
+                "TRC001", call,
+                f"trace event kind {kind!r} is not declared in "
+                "repro.scenarios.trace.TRACE_SCHEMA"))
+            continue
+        is_record = isinstance(call.func, ast.Attribute) and call.func.attr == "record"
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue  # **expansion — dynamic, reader side still checked
+            if is_record and keyword.arg in _RECORDER_PARAMS:
+                continue
+            if keyword.arg not in declared:
+                findings.append(ctx.finding(
+                    "TRC002", keyword.value,
+                    f"event {kind!r} emitted with undeclared field "
+                    f"{keyword.arg!r} (declare it in TRACE_SCHEMA or drop it)"))
+    return findings
+
+
+# -------------------------------------------------------------------- TRC003
+
+
+def _literal_strings(nodes: list[ast.expr]) -> list[tuple[str, ast.expr]]:
+    out = []
+    for node in nodes:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            out.append((node.value, node))
+        elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out.extend(_literal_strings(list(node.elts)))
+    return out
+
+
+def _selected_kinds(function: ast.AST) -> list[tuple[str, ast.expr]]:
+    """Literal kinds a checker function selects (by_kind/count/.kind ==)."""
+    kinds: list[tuple[str, ast.expr]] = []
+    for node in ast.walk(function):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in ("by_kind", "count"):
+            kinds.extend(_literal_strings(list(node.args)))
+        elif isinstance(node, ast.Compare):
+            sides = [node.left, *node.comparators]
+            if any(isinstance(side, ast.Attribute) and side.attr == "kind"
+                   and isinstance(side.value, ast.Name)
+                   and side.value.id in _EVENT_NAMES
+                   for side in sides):
+                kinds.extend(_literal_strings(
+                    [s for s in sides if not isinstance(s, ast.Attribute)]))
+    return kinds
+
+
+def _check_reads(ctx: ModuleContext,
+                 schema: dict[str, frozenset[str]]) -> list[Finding]:
+    findings: list[Finding] = []
+    for function in ctx.functions():
+        kinds = _selected_kinds(function)
+        if not kinds:
+            continue
+        allowed: set[str] = set(_EVENT_ATTRS)
+        for kind, node in kinds:
+            declared = schema.get(kind)
+            if declared is None:
+                findings.append(ctx.finding(
+                    "TRC003", node,
+                    f"checker selects kind {kind!r}, which no declared schema "
+                    "entry (TRACE_SCHEMA) defines"))
+            else:
+                allowed |= declared
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "get" and node.args \
+                    and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                field = node.args[0].value
+                if field not in allowed:
+                    findings.append(ctx.finding(
+                        "TRC003", node,
+                        f"checker reads field {field!r}, which none of the "
+                        f"selected kinds ({', '.join(sorted({k for k, _ in kinds}))}) "
+                        "declares in TRACE_SCHEMA"))
+    return findings

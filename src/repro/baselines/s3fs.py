@@ -56,11 +56,11 @@ class S3FSLike(BaselineFileSystem):
         key = self._key(path)
         try:
             data = b"" if truncate else self.store.get(key, self.principal)
-        except ObjectNotFoundError:
+        except ObjectNotFoundError as exc:
             if path in self._local and not truncate:
                 data = self._local[path]
             elif not create:
-                raise self._missing(path)
+                raise self._missing(path) from exc
             else:
                 data = b""
         if create:

@@ -58,9 +58,9 @@ class S3QLLike(BaselineFileSystem):
         # Not cached locally: fall back to the cloud copy (rare for a single user).
         try:
             data = self.store.get(self._key(path), self.principal)
-        except ObjectNotFoundError:
+        except ObjectNotFoundError as exc:
             if not create:
-                raise self._missing(path)
+                raise self._missing(path) from exc
             data = b""
         if truncate:
             data = b""

@@ -32,7 +32,7 @@ SCFS_VARIANT_NAMES: tuple[str, ...] = (
 )
 
 #: Every system of Table 3 (six SCFS variants + the three baselines).
-ALL_TARGET_NAMES: tuple[str, ...] = SCFS_VARIANT_NAMES + ("S3FS", "S3QL", "LocalFS")
+ALL_TARGET_NAMES: tuple[str, ...] = (*SCFS_VARIANT_NAMES, "S3FS", "S3QL", "LocalFS")
 
 
 @dataclass

@@ -78,8 +78,8 @@ def cmd_table3(args) -> int:
     params = MicroBenchmarkParams(sample_ops=256, create_count=40, copy_count=20) if args.quick \
         else MicroBenchmarkParams(sample_ops=1024)
     table = run_microbenchmark_table(ALL_TARGET_NAMES, tuple(MICRO_BENCHMARKS), args.seed, params)
-    headers = ["micro-benchmark"] + list(ALL_TARGET_NAMES)
-    rows = [[name] + [table[name][t] for t in ALL_TARGET_NAMES] for name in MICRO_BENCHMARKS]
+    headers = ["micro-benchmark", *ALL_TARGET_NAMES]
+    rows = [[name, *(table[name][t] for t in ALL_TARGET_NAMES)] for name in MICRO_BENCHMARKS]
     print(render_table("Table 3 - Filebench micro-benchmarks (simulated seconds)", headers, rows))
     return 0
 

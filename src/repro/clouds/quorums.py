@@ -48,7 +48,20 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Protocol, Sequence
+
+
+class QuorumPredicate(Protocol):
+    """What the dispatch engine needs from a quorum: a floor and a test."""
+
+    @property
+    def min_size(self) -> int:
+        """No responder set smaller than this can satisfy the predicate."""
+        ...
+
+    def satisfied_by(self, responders: Sequence[str]) -> bool:
+        """True when ``responders`` satisfy the predicate."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -91,7 +104,8 @@ class WeightedCountQuorum:
 
     def _weight(self, responders: Sequence[str]) -> Fraction:
         table = {name: Fraction(weight) for name, weight in self.weights}
-        return sum((table[cloud] for cloud in set(responders) if cloud in table),
+        distinct = dict.fromkeys(responders)  # dedup, first-seen order
+        return sum((table[cloud] for cloud in distinct if cloud in table),
                    start=Fraction(0))
 
     @property
@@ -145,19 +159,20 @@ class SurvivorQuorum:
         return all(not present <= fault_set for fault_set in self.fault_sets)
 
 
-def as_quorum(required):
+def as_quorum(required: int | QuorumPredicate) -> QuorumPredicate:
     """Normalize a bare ``required: int`` to a quorum predicate."""
     if isinstance(required, int):
         return CountQuorum(required)
     return required
 
 
-def min_size(required) -> int:
+def min_size(required: int | QuorumPredicate) -> int:
     """The ``min_size`` of a predicate, or a bare ``int`` itself."""
     return required if isinstance(required, int) else required.min_size
 
 
-def minimal_quorums(pool: Sequence[str], predicate) -> Iterator[tuple[str, ...]]:
+def minimal_quorums(pool: Sequence[str],
+                    predicate: int | QuorumPredicate) -> Iterator[tuple[str, ...]]:
     """Yield every *minimal* satisfying subset of ``pool``.
 
     A subset is minimal when removing any one member breaks the predicate.
@@ -191,11 +206,11 @@ class QuorumSystem:
     mode: str
     universe: tuple[str, ...]
 
-    def quorum(self):
+    def quorum(self) -> QuorumPredicate:
         """Predicate over responder sets whose acknowledgement commits."""
         raise NotImplementedError
 
-    def certificate(self):
+    def certificate(self) -> QuorumPredicate:
         """Predicate over responder sets that cannot be entirely faulty."""
         raise NotImplementedError
 

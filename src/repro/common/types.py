@@ -47,7 +47,7 @@ class Principal:
     def with_canonical_id(self, provider: str, ident: str) -> "Principal":
         """Return a copy of this principal with one extra provider mapping."""
         mapping = tuple(p for p in self.canonical_ids if p[0] != provider)
-        return Principal(self.name, mapping + ((provider, ident),))
+        return Principal(self.name, (*mapping, (provider, ident)))
 
 
 @dataclass(frozen=True)

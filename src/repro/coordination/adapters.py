@@ -390,11 +390,11 @@ class ZooKeeperCoordination(_AdapterBase):
         now = self.sim.now()
         try:
             blob, version = self.rsm.invoke("get", path, now)
-        except TupleNotFoundError:
+        except TupleNotFoundError as exc:
             if expected_version is not None:
                 raise ConflictError(
                     f"entry {key!r} does not exist (expected version {expected_version})"
-                )
+                ) from exc
             payload = self._dump(value, user, {})
             self.rsm.invoke("create", path, payload, self.sim.now())
             return Entry(key=key, value=value, version=1, owner=user)

@@ -111,13 +111,13 @@ class PartitionedCoordination(CoordinationService):
         return sub_sessions[self.services.index(service)]
 
     def renew_session(self, session: Session) -> None:
-        for service, sub in zip(self.services, getattr(session, "partitions", [])):
+        for service, sub in zip(self.services, getattr(session, "partitions", []), strict=False):
             service.renew_session(sub)
         session.last_renewal = max((s.last_renewal for s in getattr(session, "partitions", [session])),
                                    default=session.last_renewal)
 
     def close_session(self, session: Session) -> None:
-        for service, sub in zip(self.services, getattr(session, "partitions", [])):
+        for service, sub in zip(self.services, getattr(session, "partitions", []), strict=False):
             service.close_session(sub)
 
     # -- entries ------------------------------------------------------------------

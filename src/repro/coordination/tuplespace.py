@@ -60,7 +60,7 @@ def matches(template: Template, fields: Tuple) -> bool:
     """True if ``fields`` matches ``template`` (same arity, wildcards allowed)."""
     if len(template) != len(fields):
         return False
-    return all(t is ANY or t == f for t, f in zip(template, fields))
+    return all(t is ANY or t == f for t, f in zip(template, fields, strict=True))
 
 
 @dataclass(slots=True)
@@ -284,10 +284,12 @@ class DepSpace:
                         touched_pairs.add((new_fields[0], new_fields[1]))
         # Moved entries land at the end of their new bucket; restore sequence
         # order so future scans keep returning the oldest match first.
+        # repro: allow[DET003] -- order-insensitive: each pass rewrites an existing dict key in place
         for head in touched_heads:
             bucket = self._by_head.get(head)
             if bucket is not None and len(bucket) > 1:
                 self._by_head[head] = dict(sorted(bucket.items()))
+        # repro: allow[DET003] -- order-insensitive: each pass rewrites an existing dict key in place
         for pair in touched_pairs:
             pair_bucket = self._by_pair.get(pair)
             if pair_bucket is not None and len(pair_bucket) > 1:

@@ -66,7 +66,7 @@ class ZooKeeperLike:
             return
         for path in [p for p, n in self._nodes.items() if n.ephemeral_owner in expired]:
             self._remove(path)
-        for session in expired:
+        for session in sorted(expired):
             del self._session_expiry[session]
 
     def _remove(self, path: str) -> None:

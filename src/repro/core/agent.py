@@ -205,6 +205,7 @@ class SCFSAgent:
             self.events(kind, agent=self.principal.name, time=self.sim.now(), **fields)
 
     def _lock_transition(self, kind: str, lock_name: str) -> None:
+        # repro: allow[TRC001] -- LockService forwards kind="lock"|"unlock" only; both are declared in TRACE_SCHEMA
         self._emit(kind, lock=lock_name)
 
     # ------------------------------------------------------------------ mount
@@ -318,6 +319,7 @@ class SCFSAgent:
             # Lock shared files opened for writing; failure surfaces as an error
             # (write-write conflicts are prevented rather than merged, §2.5.1).
             try:
+                # repro: allow[LCK001] -- ownership hand-off: the lock is held for the handle's lifetime and released by close()
                 locked = self.locks.acquire(meta)
             except Exception:
                 self.stats.lock_conflicts += 1

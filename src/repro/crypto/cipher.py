@@ -68,6 +68,7 @@ def generate_key(rng: random.Random | None = None) -> bytes:
     from ``os.urandom`` in one call.
     """
     if rng is None:
+        # repro: allow[DET002] -- non-sim fallback: under a Simulation the caller always threads a forked rng
         return os.urandom(KEY_SIZE)
     return _random_bytes(rng, KEY_SIZE)
 
@@ -119,7 +120,7 @@ class SymmetricCipher:
                 f"out must be a contiguous 1-D uint8 view of "
                 f"{length + NONCE_SIZE + TAG_SIZE} bytes")
         nonce = _random_bytes(rng, NONCE_SIZE) if rng is not None \
-            else os.urandom(NONCE_SIZE)
+            else os.urandom(NONCE_SIZE)  # repro: allow[DET002] -- non-sim fallback: simulated runs always pass rng
         out[:NONCE_SIZE] = np.frombuffer(nonce, dtype=np.uint8)
         ciphertext = out[NONCE_SIZE:NONCE_SIZE + length]
         stream = _keystream(self._enc_key, nonce, length)

@@ -51,10 +51,10 @@ def split_secret(secret: bytes, n: int, t: int, rng: random.Random | None = None
     """
     if not 1 <= t <= n <= 255:
         raise ValueError(f"invalid secret-sharing parameters n={n}, t={t}")
-    rng = rng or random.SystemRandom()
+    rng = rng or random.SystemRandom()  # repro: allow[DET002] -- non-sim fallback: DepSky threads the simulation rng; bare calls get real entropy
     # One random polynomial per secret byte; coefficient 0 is the secret byte.
     coefficients = np.array(
-        [[byte] + [rng.randrange(256) for _ in range(t - 1)] for byte in secret],
+        [[byte, *(rng.randrange(256) for _ in range(t - 1))] for byte in secret],
         dtype=np.uint8,
     ).reshape(len(secret), t)
     shares = []
@@ -78,7 +78,7 @@ def combine_secret(shares: list[SecretShare], t: int) -> bytes:
     lengths = {len(s.data) for s in chosen}
     if len(lengths) != 1:
         raise ValueError("shares have inconsistent lengths")
-    secret_len = lengths.pop()
+    (secret_len,) = lengths
     # Lagrange basis coefficients evaluated at x = 0 (tiny, stays scalar).
     coefficients = []
     for i, share_i in enumerate(chosen):
@@ -90,6 +90,6 @@ def combine_secret(shares: list[SecretShare], t: int) -> bytes:
             denominator = gf256.gf_mul(denominator, share_i.x ^ share_j.x)
         coefficients.append(gf256.gf_div(numerator, denominator))
     secret = np.zeros(secret_len, dtype=np.uint8)
-    for coeff, share in zip(coefficients, chosen):
+    for coeff, share in zip(coefficients, chosen, strict=True):
         secret ^= gf256.mul_block(coeff, np.frombuffer(share.data, dtype=np.uint8))
     return secret.tobytes()

@@ -41,6 +41,7 @@ simulated clock nor appends to the trace.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.common.errors import ReproError
@@ -190,7 +191,7 @@ def check_consistency_on_close(trace: TraceRecorder,
 
 
 def check_mutual_exclusion(trace: TraceRecorder,
-                           lock_lease: float = float("inf")) -> list[Violation]:
+                           lock_lease: float = math.inf) -> list[Violation]:
     """At most one agent holds the write lock of a file at any instant.
 
     ``lock_lease`` is the deployment's lease: both coordination services time
@@ -439,7 +440,7 @@ def _find_cycle(adjacency: dict) -> list | None:
             advanced = False
             for nxt in neighbours:
                 if color.get(nxt, BLACK) == GREY:
-                    return path[path.index(nxt):] + [nxt]
+                    return [*path[path.index(nxt):], nxt]
                 if color.get(nxt, BLACK) == WHITE:
                     color[nxt] = GREY
                     stack.append((nxt, iter(adjacency[nxt])))
@@ -534,7 +535,7 @@ def check_serializability(trace: TraceRecorder) -> list[Violation]:
     for chain in versions_of.values():
         chain.sort()
 
-    nodes = set(reads_of) | set(writes_of)
+    nodes = sorted(set(reads_of) | set(writes_of))
     adjacency: dict[tuple, set] = {node: set() for node in nodes}
 
     def next_version(fid: str, version: int) -> int | None:
@@ -646,7 +647,7 @@ def check_unexpected_errors(trace: TraceRecorder) -> list[Violation]:
 
 def check_all(trace: TraceRecorder, deployment=None,
               staleness: float = 0.0,
-              lock_lease: float = float("inf")) -> list[Violation]:
+              lock_lease: float = math.inf) -> list[Violation]:
     """Run every checker; ``deployment`` enables the durability ground check.
 
     ``lock_lease`` is the deployment's lease duration; the mutual-exclusion

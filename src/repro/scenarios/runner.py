@@ -218,8 +218,12 @@ class ScenarioRunner:
             # A fault transition changes what the clouds serve without going
             # through a mutating quorum call, so expire the coalescing window.
             deployment.coalescer.invalidate()
-        recorder.record(f"fault_{action}", time=now, target=phase.target,
-                        fault=phase.kind, factor=phase.factor)
+        if action == "start":
+            recorder.record("fault_start", time=now, target=phase.target,
+                            fault=phase.kind, factor=phase.factor)
+        else:
+            recorder.record("fault_end", time=now, target=phase.target,
+                            fault=phase.kind, factor=phase.factor)
 
     # ------------------------------------------------------------------ workload
 

@@ -61,6 +61,50 @@ class TraceEvent:
         return json.dumps(payload, sort_keys=False, separators=(",", ":"))
 
 
+#: Declared event schema: every trace kind the codebase may emit, mapped to
+#: the exact set of fields it carries.  This registry is the contract between
+#: the emitters (``SCFSAgent._emit``, ``recorder.record``) and the stringly
+#: typed consumers in :mod:`repro.scenarios.invariants`: the static analyzer
+#: (``python -m repro.analysis``) flags any emission with an undeclared kind
+#: or field (TRC001/TRC002) and any checker read of a field that no selected
+#: kind declares (TRC003).  Adding an event means adding it here first.
+TRACE_SCHEMA: dict[str, frozenset[str]] = {
+    # ---- file-system operations (SCFSAgent) ----
+    "open": frozenset({"path", "file_id", "digest", "version", "served",
+                       "write", "created", "locked", "handle", "began"}),
+    "read": frozenset({"path", "handle", "offset", "size"}),
+    "write": frozenset({"path", "handle", "offset", "size"}),
+    "fsync": frozenset({"path", "handle", "digest", "size"}),
+    "close": frozenset({"path", "file_id", "handle", "dirty", "digest",
+                        "version", "size", "blocking"}),
+    "upload": frozenset({"path", "file_id", "digest", "version", "background",
+                         "txn"}),
+    "commit": frozenset({"path", "file_id", "digest", "version", "background",
+                         "txn"}),
+    "unlink": frozenset({"path", "file_id"}),
+    # ---- coordination ----
+    "lock": frozenset({"lock"}),
+    "unlock": frozenset({"lock"}),
+    # ---- transactions ----
+    "txn_begin": frozenset({"txn"}),
+    "txn_commit": frozenset({"txn", "began", "attempts", "reads", "writes",
+                             "renamed_from", "renamed_to", "files"}),
+    "txn_abort": frozenset({"txn", "reason", "reads", "writes"}),
+    # ---- cloud backend ----
+    "quorum": frozenset({"op", "unit", "required", "charged", "reached",
+                         "winners", "outcomes", "hedged", "probes", "demoted"}),
+    "health": frozenset({"cloud", "state"}),
+    # ---- scenario engine ----
+    "setup_done": frozenset({"files", "pooled"}),
+    "agent_crash": frozenset({"lease"}),
+    "agent_restart": frozenset({"crashed_at"}),
+    "fault_start": frozenset({"target", "fault", "factor"}),
+    "fault_end": frozenset({"target", "fault", "factor"}),
+    "op_error": frozenset({"op", "path", "benign", "error"}),
+    "scenario_done": frozenset({"ops"}),
+}
+
+
 def summarize_quorum(stats: QuorumCallStats) -> dict[str, Any]:
     """Flatten one quorum call's statistics into JSON-stable trace fields."""
     return {

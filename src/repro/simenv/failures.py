@@ -9,6 +9,7 @@ and *how* a given provider misbehaves, keyed on simulated time.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 
 
@@ -54,7 +55,7 @@ class FailureSchedule:
 
     windows: list[FaultWindow] = field(default_factory=list)
 
-    def add(self, kind: FaultKind, start: float = 0.0, end: float = float("inf"),
+    def add(self, kind: FaultKind, start: float = 0.0, end: float = math.inf,
             factor: float = 1.0) -> None:
         """Schedule ``kind`` to be active on ``[start, end)``.
 

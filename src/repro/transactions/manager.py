@@ -41,8 +41,8 @@ from __future__ import annotations
 
 import contextlib
 import json
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.common.errors import (
     ConflictError,
@@ -55,6 +55,12 @@ from repro.common.errors import (
 )
 from repro.core.metadata import FileMetadata, normalize_path
 from repro.crypto.hashing import content_digest
+
+if TYPE_CHECKING:
+    from repro.core.agent import SCFSAgent
+
+#: One planned write: ``(path, entry_version, new_metadata, data)``.
+WritePlan = list[tuple[str, int, FileMetadata, bytes]]
 
 #: Prefix of transaction intent records in the coordination service.
 TXN_PREFIX = "txn:"
@@ -82,7 +88,7 @@ class Transaction:
     after commit or abort it refuses further operations.
     """
 
-    def __init__(self, manager: "TransactionManager", txn_id: str):
+    def __init__(self, manager: "TransactionManager", txn_id: str) -> None:
         self.manager = manager
         self.txn_id = txn_id
         self.status = ACTIVE
@@ -93,7 +99,7 @@ class Transaction:
         self._writes: dict[str, bytes] = {}
         #: ``[path, file_id, version, digest]`` of each anchored write, filled
         #: by the commit (the write set as the serializability checker sees it).
-        self._committed_writes: list[list] = []
+        self._committed_writes: list[list[Any]] = []
 
     # ------------------------------------------------------------- operations
 
@@ -166,7 +172,7 @@ class Transaction:
 class TransactionManager:
     """Transactional commit layer of one agent (``agent.transactions``)."""
 
-    def __init__(self, agent):
+    def __init__(self, agent: "SCFSAgent") -> None:
         self.agent = agent
         self.config = agent.config.transactions
 
@@ -285,7 +291,7 @@ class TransactionManager:
                        current: dict[str, tuple[FileMetadata, int]]) -> None:
         agent = self.agent
         now = agent.sim.now()
-        plan = []
+        plan: WritePlan = []
         for path in sorted(txn._writes):
             meta, entry_version = current[path]
             data = txn._writes[path]
@@ -325,7 +331,7 @@ class TransactionManager:
         self._put_intent(txn, "committed", plan, expected_version=1)
         agent.gc.maybe_schedule()
 
-    def _put_intent(self, txn: Transaction, status: str, plan,
+    def _put_intent(self, txn: Transaction, status: str, plan: WritePlan,
                     expected_version: int | None) -> None:
         """Write/flip the intent record ``txn:<id>`` through the coordination service."""
         agent = self.agent
@@ -340,7 +346,7 @@ class TransactionManager:
         agent.coordination.put(TXN_PREFIX + txn.txn_id, payload, agent.session,
                                expected_version=expected_version)
 
-    def intent_record(self, txn_id: str) -> dict | None:
+    def intent_record(self, txn_id: str) -> dict[str, Any] | None:
         """Decode the intent record of ``txn_id`` (None when absent)."""
         from repro.common.errors import TupleNotFoundError
 
@@ -348,7 +354,8 @@ class TransactionManager:
             entry = self.agent.coordination.get(TXN_PREFIX + txn_id, self.agent.session)
         except TupleNotFoundError:
             return None
-        return json.loads(entry.value.decode())
+        record: dict[str, Any] = json.loads(entry.value.decode())
+        return record
 
     # ------------------------------------------------------------------ abort
 
@@ -435,7 +442,7 @@ class TransactionManager:
     # ---------------------------------------------------------------- context
 
     @contextlib.contextmanager
-    def transaction(self):
+    def transaction(self) -> Iterator[Transaction]:
         """``with manager.transaction() as txn:`` — commit on success, abort on error."""
         txn = self.begin()
         try:

@@ -1,0 +1,14 @@
+# repro: sim-visible
+"""Bad: draws from ambient entropy instead of a forked simulation stream."""
+import os
+import random
+
+
+def jitter():
+    # expect: DET002
+    return random.random() * 0.5
+
+
+def fresh_nonce():
+    # expect: DET002
+    return os.urandom(16)

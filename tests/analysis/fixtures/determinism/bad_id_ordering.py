@@ -1,0 +1,14 @@
+# repro: sim-visible
+"""Bad: orders by CPython object identity, which varies run to run."""
+
+
+def arbitration_order(handles):
+    # expect: DET004
+    return sorted(handles, key=id)
+
+
+def winner(left, right):
+    # expect: DET004
+    if id(left) < id(right):
+        return left
+    return right

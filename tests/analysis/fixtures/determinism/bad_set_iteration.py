@@ -1,0 +1,17 @@
+# repro: sim-visible
+"""Bad: iterates unordered sets where the order reaches scheduling/traces."""
+
+
+def drain(items):
+    pending = set(items)
+    order = []
+    # expect: DET003
+    for item in pending:
+        order.append(item)
+    return order
+
+
+def schedule(ready):
+    waiting = {agent for agent in ready}
+    # expect: DET003
+    return [agent for agent in waiting]

@@ -1,0 +1,15 @@
+# repro: sim-visible
+"""Bad: reads the host wall clock inside simulation-visible code."""
+import time
+from datetime import datetime
+
+
+def stamp_operation(trace):
+    # expect: DET001
+    started = time.time()
+    trace.append(("op", started))
+
+
+def label_run(trace):
+    # expect: DET001
+    trace.append(datetime.now().isoformat())

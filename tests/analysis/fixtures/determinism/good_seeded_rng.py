@@ -1,0 +1,15 @@
+# repro: sim-visible
+"""Good twin: randomness is a seeded stream threaded from the simulation."""
+import random
+
+
+def jitter(rng):
+    return rng.random() * 0.5
+
+
+def fork_stream(sim):
+    return sim.fork_rng("jitter")
+
+
+def make_stream(seed):
+    return random.Random(seed)

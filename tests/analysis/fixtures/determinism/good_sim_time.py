@@ -1,0 +1,10 @@
+# repro: sim-visible
+"""Good twin: time only ever comes from the simulation clock."""
+
+
+def stamp_operation(sim, trace):
+    trace.append(("op", sim.now()))
+
+
+def label_run(sim, trace):
+    trace.append(f"t={sim.now():.3f}")

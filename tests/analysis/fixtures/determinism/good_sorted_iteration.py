@@ -1,0 +1,16 @@
+# repro: sim-visible
+"""Good twin: set iteration is sorted, or feeds order-insensitive reductions."""
+
+
+def drain(items):
+    pending = set(items)
+    return [item for item in sorted(pending)]
+
+
+def quorum_met(responders, needed):
+    distinct = {cloud for cloud in responders}
+    return len(distinct) >= needed
+
+
+def any_dirty(handles):
+    return any(handle.dirty for handle in handles)

@@ -1,0 +1,18 @@
+"""Bad: bare except catches SystemExit/KeyboardInterrupt too."""
+
+
+class Dispatcher:
+    def dispatch(self, op):
+        try:
+            return self.apply(op)
+        # expect: EXC001
+        except:
+            return None
+
+    def probe(self, op):
+        try:
+            self.apply(op)
+        # expect: EXC001
+        except:
+            pass
+        return True

@@ -1,0 +1,18 @@
+# repro: sim-visible
+"""Bad: broad handlers on commit paths swallow protocol error subclasses."""
+
+
+class Committer:
+    def commit(self, meta):
+        try:
+            self.backend.put(meta)
+        # expect: EXC002
+        except Exception:
+            pass
+
+    def read(self, meta):
+        try:
+            return self.backend.get(meta)
+        # expect: EXC002
+        except BaseException:
+            return None

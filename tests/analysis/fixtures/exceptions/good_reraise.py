@@ -1,0 +1,17 @@
+# repro: sim-visible
+"""Good twin: a broad handler that cleans up and re-raises is legitimate."""
+
+
+class Committer:
+    def commit(self, meta):
+        try:
+            self.backend.put(meta)
+        except Exception:
+            self.stats.errors += 1
+            raise
+
+    def guarded(self, meta):
+        try:
+            return self.backend.get(meta)
+        except Exception as exc:
+            raise RuntimeError("commit path failed") from exc

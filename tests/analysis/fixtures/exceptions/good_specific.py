@@ -1,0 +1,16 @@
+# repro: sim-visible
+"""Good twin: handlers name the errors they actually expect."""
+
+
+class Committer:
+    def commit(self, meta):
+        try:
+            self.backend.put(meta)
+        except KeyError:
+            self.stats.missing += 1
+
+    def read(self, meta):
+        try:
+            return self.backend.get(meta)
+        except (KeyError, ValueError):
+            return None

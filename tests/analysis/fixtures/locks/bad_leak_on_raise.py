@@ -1,0 +1,11 @@
+"""Bad: an exception path escapes with the lock still held."""
+
+
+class Committer:
+    def commit(self, meta, payload):
+        # expect: LCK001
+        self.locks.acquire(meta)
+        if not self.validate(payload):
+            raise ValueError("invalid payload")
+        self.backend.put(meta, payload)
+        self.locks.release(meta)

@@ -1,0 +1,12 @@
+"""Bad: an early return leaves the lock held."""
+
+
+class Committer:
+    def update(self, meta, payload):
+        # expect: LCK001
+        self.locks.acquire(meta)
+        if payload is None:
+            return None
+        self.backend.put(meta, payload)
+        self.locks.release(meta)
+        return meta

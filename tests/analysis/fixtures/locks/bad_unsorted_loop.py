@@ -1,0 +1,11 @@
+"""Bad: multi-lock acquisition loop without a global (sorted) order."""
+
+
+class Committer:
+    def lock_all(self, metas):
+        locked = []
+        # expect: LCK002
+        for meta in metas:
+            self.locks.acquire(meta)
+            locked.append(meta)
+        return locked

@@ -1,0 +1,17 @@
+"""Good twin: release_all() in a finally covers every exit path."""
+
+
+class Committer:
+    def serve(self, meta):
+        self.locks.acquire(meta)
+        try:
+            return self.render(meta)
+        finally:
+            self.locks.release_all()
+
+    def lock_sorted_name(self, metas):
+        ordered = sorted(metas)
+        for meta in ordered:
+            self.locks.acquire(meta)
+        self.apply(metas)
+        self.locks.release_all()

@@ -1,0 +1,14 @@
+"""Good twin: sorted acquisition, release on every path via try/finally."""
+
+
+class Committer:
+    def commit_all(self, metas):
+        locked = []
+        try:
+            for meta in sorted(metas, key=self.lock_name):
+                self.locks.acquire(meta)
+                locked.append(meta)
+            self.apply(metas)
+        finally:
+            for meta in reversed(locked):
+                self.locks.release(meta)

@@ -1,0 +1,8 @@
+# repro: sim-visible
+"""Bad: a pragma without a justification suppresses nothing and adds PRG001."""
+import time
+
+
+def stamp():
+    # expect: DET001, PRG001
+    return time.time()  # repro: allow[DET001]

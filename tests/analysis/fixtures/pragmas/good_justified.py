@@ -1,0 +1,12 @@
+# repro: sim-visible
+"""Good twin: a justified pragma suppresses the finding it names."""
+import time
+
+
+def wall_deadline(seconds):
+    # repro: allow[DET001] -- host-side watchdog, compared only against the host clock
+    return time.time() + seconds
+
+
+def wall_deadline_trailing(seconds):
+    return time.time() + seconds  # repro: allow[DET001] -- host-side watchdog, never simulated

@@ -1,0 +1,14 @@
+"""Bad: declared kinds used with undeclared fields, on both sides."""
+
+
+class Agent:
+    def emit_open(self, handle):
+        # expect: TRC002
+        self._emit("open", pathname="/f")
+
+
+def orphaned_unlinks(trace):
+    for event in trace.by_kind("unlink"):
+        # expect: TRC003
+        if event.get("version") is not None:
+            yield event

@@ -1,0 +1,12 @@
+"""Bad: emits trace kinds the TRACE_SCHEMA registry does not declare."""
+
+
+def announce(recorder, now):
+    # expect: TRC001
+    recorder.record("file_opened", agent="a0", time=now, path="/f")
+
+
+class Agent:
+    def emit_dynamic(self, action):
+        # expect: TRC001
+        self._emit(f"op_{action}", path="/f")

@@ -1,0 +1,10 @@
+"""Good twin: checkers read only fields the selected kinds declare."""
+
+
+def committed_versions(trace):
+    for event in trace.by_kind("commit"):
+        yield event.get("file_id"), event.get("version")
+
+
+def crash_count(trace):
+    return len([e for e in trace.events if e.kind == "agent_crash"])

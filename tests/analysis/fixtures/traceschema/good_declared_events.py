@@ -1,0 +1,10 @@
+"""Good twin: every emission uses a declared kind with declared fields."""
+
+
+class Agent:
+    def emit_open(self, handle):
+        self._emit("open", path="/f", handle=handle)
+
+
+def announce(recorder, now):
+    recorder.record("scenario_done", agent=None, time=now, ops=42)

@@ -1,0 +1,163 @@
+"""Targeted unit tests for the lock-flow CFG walk (LCK001 edge cases)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+
+def _lck001(body: str) -> list[int]:
+    source = textwrap.dedent(body)
+    return [f.line for f in analyze_source(source) if f.rule == "LCK001"]
+
+
+def test_straight_line_pairing_is_clean():
+    assert _lck001("""
+        def f(locks, meta):
+            locks.acquire(meta)
+            work(meta)
+            locks.release(meta)
+    """) == []
+
+
+def test_early_return_between_acquire_and_release_flags():
+    assert _lck001("""
+        def f(locks, meta, flag):
+            locks.acquire(meta)
+            if flag:
+                return None
+            locks.release(meta)
+    """) != []
+
+
+def test_raise_between_acquire_and_release_flags():
+    assert _lck001("""
+        def f(locks, meta, flag):
+            locks.acquire(meta)
+            if flag:
+                raise ValueError("boom")
+            locks.release(meta)
+    """) != []
+
+
+def test_try_finally_release_covers_raise_and_return():
+    assert _lck001("""
+        def f(locks, meta, flag):
+            locks.acquire(meta)
+            try:
+                if flag:
+                    raise ValueError("boom")
+                return work(meta)
+            finally:
+                locks.release(meta)
+    """) == []
+
+
+def test_caught_exception_does_not_leak():
+    assert _lck001("""
+        def f(locks, meta, flag):
+            locks.acquire(meta)
+            try:
+                if flag:
+                    raise ValueError("boom")
+            except Exception:
+                pass
+            locks.release(meta)
+    """) == []
+
+
+def test_release_only_in_handler_still_leaks_on_fall_through():
+    assert _lck001("""
+        def f(locks, meta):
+            locks.acquire(meta)
+            try:
+                work(meta)
+            except ValueError:
+                locks.release(meta)
+                raise
+    """) != []
+
+
+def test_canonical_loop_acquire_finally_reversed_release_is_clean():
+    # The repo's own commit pattern: may-acquire in the loop, must-release
+    # in the finally loop.  The zero-iteration path must not false-positive.
+    assert _lck001("""
+        def f(locks, metas):
+            locked = []
+            try:
+                for meta in sorted(metas):
+                    locks.acquire(meta)
+                    locked.append(meta)
+                work(metas)
+            finally:
+                for meta in reversed(locked):
+                    locks.release(meta)
+    """) == []
+
+
+def test_release_all_in_finally_is_clean():
+    assert _lck001("""
+        def f(locks, metas):
+            try:
+                for meta in sorted(metas):
+                    locks.acquire(meta)
+                return work(metas)
+            finally:
+                locks.release_all()
+    """) == []
+
+
+def test_break_out_of_loop_before_release_flags():
+    assert _lck001("""
+        def f(locks, metas, stop):
+            for meta in sorted(metas):
+                locks.acquire(meta)
+                if meta == stop:
+                    break
+                locks.release(meta)
+    """) != []
+
+
+def test_with_statement_acquire_is_out_of_scope():
+    # `with locks.acquire(meta):` style guards release structurally; the
+    # pairing rule only tracks explicit acquire/release receivers.
+    assert _lck001("""
+        def f(locks, meta):
+            with locks.guard(meta):
+                work(meta)
+    """) == []
+
+
+def test_acquire_only_function_is_out_of_scope():
+    # Ownership hand-off (mount acquires, unmount releases) is intra-function
+    # out of scope by design.
+    assert _lck001("""
+        def mount(locks, meta):
+            locks.acquire(meta)
+            register(meta)
+    """) == []
+
+
+def test_nested_function_does_not_confuse_outer_flow():
+    assert _lck001("""
+        def f(locks, meta):
+            def inner():
+                locks.acquire(meta)
+            locks.acquire(meta)
+            work(meta)
+            locks.release(meta)
+    """) == []
+
+
+def test_two_receivers_tracked_independently():
+    findings = _lck001("""
+        def f(a, b, meta, flag):
+            a.locks.acquire(meta)
+            b.locks.acquire(meta)
+            if flag:
+                return None
+            a.locks.release(meta)
+            b.locks.release(meta)
+    """)
+    assert len(findings) == 2

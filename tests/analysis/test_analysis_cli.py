@@ -1,0 +1,73 @@
+"""CLI contract tests: exit codes, JSON shape, --out, --list-rules."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.registry import ALL_RULES
+
+CLEAN = "def f():\n    return 1\n"
+DIRTY = ("# repro: sim-visible\n"
+         "import time\n\n\ndef f():\n    return time.time()\n")
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "clean.py").write_text(CLEAN)
+    (tmp_path / "dirty.py").write_text(DIRTY)
+    return tmp_path
+
+
+def test_exit_zero_on_clean_file(tree, capsys):
+    assert main([str(tree / "clean.py")]) == 0
+    out = capsys.readouterr().out
+    assert "1 file(s) analyzed, 0 finding(s)" in out
+
+
+def test_exit_one_on_findings(tree, capsys):
+    assert main([str(tree / "dirty.py")]) == 1
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_exit_two_on_usage_errors(tree, capsys):
+    assert main([]) == 2
+    assert main([str(tree / "no_such_dir")]) == 2
+    empty = tree / "empty"
+    empty.mkdir()
+    assert main([str(empty)]) == 2
+
+
+def test_json_format_shape(tree, capsys):
+    assert main([str(tree), "--format=json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == 1
+    assert report["files_analyzed"] == 2
+    assert report["ok"] is False
+    assert report["summary"] == {"DET001": 1}
+    (finding,) = report["findings"]
+    assert set(finding) == {"path", "line", "col", "rule", "message"}
+    assert finding["rule"] == "DET001"
+    assert finding["path"].endswith("dirty.py")
+
+
+def test_out_writes_report_file(tree, capsys):
+    out_file = tree / "reports" / "analysis.json"
+    assert main([str(tree), "--format=json", "--out", str(out_file)]) == 1
+    on_disk = json.loads(out_file.read_text())
+    assert on_disk == json.loads(capsys.readouterr().out)
+
+
+def test_list_rules_covers_every_rule(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule in out
+
+
+def test_syntax_error_is_a_finding_not_a_crash(tree, capsys):
+    (tree / "broken.py").write_text("def f(:\n")
+    assert main([str(tree / "broken.py")]) == 1
+    assert "PARSE" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""Unit tests for the pragma/directive layer of the static analyzer."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_source
+from repro.analysis.pragmas import PragmaTable
+
+SIM = "# repro: sim-visible\n"
+WALLCLOCK = "import time\n\n\ndef f():\n    return time.time()\n"
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def test_justified_pragma_on_same_line_suppresses():
+    source = SIM + WALLCLOCK.replace(
+        "return time.time()",
+        "return time.time()  # repro: allow[DET001] -- host watchdog only")
+    assert analyze_source(source) == []
+
+
+def test_justified_pragma_on_line_above_suppresses():
+    source = SIM + WALLCLOCK.replace(
+        "    return time.time()",
+        "    # repro: allow[DET001] -- host watchdog only\n    return time.time()")
+    assert analyze_source(source) == []
+
+
+def test_unjustified_pragma_suppresses_nothing_and_is_flagged():
+    source = SIM + WALLCLOCK.replace(
+        "return time.time()", "return time.time()  # repro: allow[DET001]")
+    assert sorted(_rules(analyze_source(source))) == ["DET001", "PRG001"]
+
+
+def test_pragma_for_a_different_rule_does_not_suppress():
+    source = SIM + WALLCLOCK.replace(
+        "return time.time()",
+        "return time.time()  # repro: allow[DET002] -- wrong rule id")
+    assert "DET001" in _rules(analyze_source(source))
+
+
+def test_prg001_cannot_be_pragmad_away():
+    source = SIM + WALLCLOCK.replace(
+        "    return time.time()",
+        "    # repro: allow[PRG001] -- nice try\n"
+        "    # repro: allow[DET001]\n"
+        "    return time.time()")
+    rules = _rules(analyze_source(source))
+    assert "PRG001" in rules and "DET001" in rules
+
+
+def test_sim_visible_directive_opts_in():
+    # Outside src/repro the path-based classifier says "not sim-visible";
+    # the directive turns the determinism rules on.
+    assert analyze_source(WALLCLOCK, path="elsewhere.py") == []
+    assert _rules(analyze_source(SIM + WALLCLOCK, path="elsewhere.py")) == ["DET001"]
+
+
+def test_not_sim_visible_directive_opts_out():
+    source = "# repro: not-sim-visible\n" + WALLCLOCK
+    assert analyze_source(source, path="src/repro/core/fake.py") == []
+
+
+def test_directive_outside_header_window_is_ignored():
+    padding = "\n" * 30
+    source = padding + "# repro: sim-visible\n" + WALLCLOCK
+    assert analyze_source(source, path="elsewhere.py") == []
+
+
+def test_pragma_table_records_justifications():
+    table = PragmaTable(
+        "x = 1  # repro: allow[LCK001] -- hand-off to close()\n", "f.py")
+    assert table.suppresses("LCK001", 1)
+    assert not table.suppresses("LCK002", 1)
+    assert table.unjustified() == []

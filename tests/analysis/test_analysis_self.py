@@ -1,0 +1,45 @@
+"""Integration: the repository's own source must lint clean.
+
+This is the CI gate in test form — if a change introduces a determinism
+hazard, a lock leak, an undeclared trace event or a swallowed exception,
+this test (and the ``static-analysis`` CI job) goes red.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.scenarios.trace import TRACE_SCHEMA
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_repro_lints_clean():
+    report = analyze_paths([str(REPO / "src" / "repro")])
+    assert report.files_analyzed > 50
+    assert report.ok, "\n" + report.render_text()
+
+
+def test_every_schema_kind_has_fields_declared_as_frozenset():
+    for kind, fields in TRACE_SCHEMA.items():
+        assert isinstance(fields, frozenset), kind
+        assert all(isinstance(f, str) for f in fields), kind
+
+
+def test_schema_covers_all_kinds_the_scenario_suite_emits():
+    # A crash/restart transactional mix exercises agents, quorums, faults,
+    # locks and transactions at once; every event it records — kind and
+    # fields — must be declared in the registry.
+    from repro.scenarios.runner import ScenarioRunner
+    from repro.scenarios.spec import ScenarioSpec
+
+    spec = ScenarioSpec.generate(7, mix="txn-crash-restart", agents=3,
+                                 ops_per_agent=8)
+    result = ScenarioRunner(spec).run()
+    emitted = {event.kind for event in result.trace.events}
+    undeclared = emitted - set(TRACE_SCHEMA)
+    assert not undeclared, f"emitted but undeclared kinds: {sorted(undeclared)}"
+    for event in result.trace.events:
+        extra = set(event.fields) - TRACE_SCHEMA[event.kind]
+        assert not extra, f"{event.kind} carries undeclared fields {sorted(extra)}"

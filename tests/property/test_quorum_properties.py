@@ -102,8 +102,8 @@ class TestPlannerProperties:
     )
     def test_planned_primary_satisfies_the_quorum_predicate(
             self, system, latencies, costs, suspected_mask):
-        latency = dict(zip(NAMES, latencies))
-        cost = dict(zip(NAMES, costs))
+        latency = dict(zip(NAMES, latencies, strict=True))
+        cost = dict(zip(NAMES, costs, strict=True))
         tracker = CloudHealthTracker(SuspicionPolicy(threshold=1))
         suspected = {name for i, name in enumerate(system.universe)
                      if suspected_mask & (1 << i)}
@@ -135,8 +135,8 @@ class TestPlannerProperties:
         costs=st.lists(st.floats(0.001, 1.0), min_size=7, max_size=7),
     )
     def test_planner_matches_the_exhaustive_optimum(self, system, latencies, costs):
-        latency = dict(zip(NAMES, latencies))
-        cost = dict(zip(NAMES, costs))
+        latency = dict(zip(NAMES, latencies, strict=True))
+        cost = dict(zip(NAMES, costs, strict=True))
         planner = QuorumPlanner(
             latency_of=lambda c, kind, payload: latency[c],
             cost_of=lambda c, kind, payload: cost[c],

@@ -86,7 +86,7 @@ def test_partition_mix_partitions_a_minority_and_heals() -> None:
     assert len({e.get("target") for e in partitions}) == 2
     # Commits keep landing while a replica is cut off: the 3-replica quorum
     # linearizes on without the minority.
-    for start, end in zip(partitions, heals):
+    for start, end in zip(partitions, heals, strict=True):
         during = [e for e in result.trace.by_kind("commit")
                   if start.time <= e.time <= end.time]
         assert during, "no commit landed during a partition window"

@@ -335,7 +335,7 @@ class TestStreamingEncode:
         stripes = list(coder.stream(data, stripe_bytes=1000))
         assert stripes[0].start == 0
         assert stripes[-1].stop == reference.shape[1]
-        for before, after in zip(stripes, stripes[1:]):
+        for before, after in zip(stripes, stripes[1:], strict=False):
             assert before.stop == after.start
         rebuilt = np.concatenate([s.blocks for s in stripes], axis=1)
         assert np.array_equal(rebuilt, reference)

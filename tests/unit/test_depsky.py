@@ -212,7 +212,7 @@ class TestDepSkyClient:
         secret = b"TOPSECRET" * 100
         client.write("unit", secret)
         for cloud in clouds:
-            for key, obj in cloud._objects.items():
+            for _key, obj in cloud._objects.items():
                 assert secret not in obj.data
 
     def test_list_versions(self, sim, alice):

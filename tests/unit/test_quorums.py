@@ -135,7 +135,7 @@ class TestWeightedSystem:
         with pytest.raises(ValueError, match="unavailable"):
             WeightedQuorumSystem(
                 universe=CLOUDS,
-                weights=(("amazon-s3", 1.5),) + WEIGHTS[1:],
+                weights=(("amazon-s3", 1.5), *WEIGHTS[1:]),
                 fault_budget=1.5,
             ).validate()
 
@@ -148,7 +148,7 @@ class TestWeightedSystem:
         with pytest.raises(ValueError, match="positive"):
             WeightedQuorumSystem(
                 universe=CLOUDS,
-                weights=(("amazon-s3", 0.0),) + WEIGHTS[1:],
+                weights=(("amazon-s3", 0.0), *WEIGHTS[1:]),
                 fault_budget=1.0,
             ).validate()
         with pytest.raises(ValueError, match="non-negative"):
@@ -279,7 +279,7 @@ class TestQuorumConfig:
     def test_infeasible_weighted_config_rejected_at_config_time(self):
         config = QuorumConfig(
             mode="weighted",
-            weights=(("amazon-s3", 1.5),) + WEIGHTS[1:],
+            weights=(("amazon-s3", 1.5), *WEIGHTS[1:]),
             fault_budget=1.5,
         )
         with pytest.raises(ConfigurationError, match="unavailable"):
